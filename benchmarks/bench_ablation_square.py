@@ -1,0 +1,42 @@
+"""Ablation: SC cluster aspect ratio (Theorem 2, observation 1).
+
+DESIGN.md design choice: for a fixed page budget r + c = B, the I/O
+saving e - max(r, c) is maximised at r = c.  Skewing the target aspect
+away from square should never reduce — and typically increases — the
+pages read.
+"""
+
+import pytest
+
+from repro.core.join import join
+from repro.experiments.figures import SPATIAL_EPSILON, lbeach_mcounty
+
+BUFFER = 12
+
+
+@pytest.mark.parametrize("aspect", [1.0, 2.0, 4.0])
+def test_sc_aspect(benchmark, aspect):
+    r, s = lbeach_mcounty(0.25)
+    result = benchmark.pedantic(
+        lambda: join(
+            r, s, SPATIAL_EPSILON, method="sc", buffer_pages=BUFFER,
+            sc_target_aspect=aspect, count_only=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    print(f"\naspect={aspect}: reads={result.report.page_reads}, "
+          f"io={result.report.io_seconds:.3f}s, "
+          f"clusters={result.report.extra['num_clusters']}")
+
+
+def test_square_is_best_aspect():
+    r, s = lbeach_mcounty(0.25)
+    reads = {}
+    for aspect in (1.0, 3.0, 6.0):
+        result = join(
+            r, s, SPATIAL_EPSILON, method="sc", buffer_pages=BUFFER,
+            sc_target_aspect=aspect, count_only=True,
+        )
+        reads[aspect] = result.report.page_reads
+    assert reads[1.0] <= reads[3.0] * 1.02
+    assert reads[1.0] <= reads[6.0] * 1.02

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 10 — cost breakdown on LBeach × MCounty.
+
+Paper claim: pm-NLJ cuts NLJ's CPU ~10x and I/O ~4x; clustering halves
+pm-NLJ's I/O; scheduling shaves a further ~35 %; SC's total is ~10x below
+NLJ's.
+"""
+
+from repro.experiments.figures import figure10
+
+
+def test_figure10(benchmark, shape, record):
+    result = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    record("figure10", result.to_text())
+
+    io = {m: result.io(m) for m in ("nlj", "pm-nlj", "rand-sc", "sc")}
+    total = {m: result.total(m) for m in ("nlj", "pm-nlj", "rand-sc", "sc")}
+
+    # Optimization 1: the prediction matrix cuts CPU hard.
+    cpu_nlj = result.runs["nlj"].report.cpu_seconds
+    cpu_pm = result.runs["pm-nlj"].report.cpu_seconds
+    assert cpu_pm < cpu_nlj / 5
+
+    # Optimizations 1-3 stack on I/O: NLJ >= pm-NLJ >= rand-SC >= SC.
+    shape(io, ["nlj", "pm-nlj", "rand-sc", "sc"])
+    # SC saves meaningfully over random cluster order (paper: ~35 %).
+    assert io["sc"] < io["rand-sc"] * 0.92
+
+    # Headline: SC total is several times below NLJ total (paper: 10x).
+    assert total["sc"] < total["nlj"] / 5

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 11 — cost breakdown on the HChr18 self join.
+
+Paper claim: the same optimisation ladder as Figure 10 holds for
+sequence data, with SC's total ~16x below NLJ's; clustering matters even
+more because sequence data cannot be reordered on disk.
+"""
+
+from repro.experiments.figures import figure11
+
+
+def test_figure11(benchmark, shape, record):
+    result = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    record("figure11", result.to_text())
+
+    io = {m: result.io(m) for m in ("nlj", "pm-nlj", "rand-sc", "sc")}
+    total = {m: result.total(m) for m in ("nlj", "pm-nlj", "rand-sc", "sc")}
+
+    # CPU: the frequency filter plus page pruning cuts the DP work hard.
+    cpu_nlj = result.runs["nlj"].report.cpu_seconds
+    cpu_pm = result.runs["pm-nlj"].report.cpu_seconds
+    assert cpu_pm < cpu_nlj / 5
+
+    # I/O ladder (paper: 344 -> 106 -> 28.8 -> 23.7).
+    shape(io, ["nlj", "pm-nlj", "rand-sc", "sc"])
+    assert io["rand-sc"] < io["pm-nlj"] * 0.7  # clustering ~halves pm-NLJ
+
+    # Headline: SC total is several times below NLJ total (paper: ~16x).
+    assert total["sc"] < total["nlj"] / 4

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 12 — total cost vs buffer size, HChr18 self join.
+
+Paper claims: (1) pm-NLJ always beats NLJ; (2) both show a knee when the
+dataset fits into the buffer, beyond which pm-NLJ converges to SC (and,
+lacking clustering preprocessing, can edge it out); (3) below the knee SC
+is the cheapest, up to two orders of magnitude under NLJ.
+"""
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, shape, record):
+    result = benchmark.pedantic(figure12, rounds=1, iterations=1)
+    record("figure12", result.to_text())
+
+    xs = result.xs
+    smallest, largest = xs[0], xs[-1]
+
+    # Below the knee, the ladder holds.
+    at_small = {m: result.at(m, smallest) for m in result.series}
+    shape(at_small, ["nlj", "pm-nlj", "sc"])
+    shape(at_small, ["rand-sc", "sc"])
+
+    # NLJ improves monotonically with buffer size.
+    nlj = result.series["nlj"]
+    assert all(b <= a * 1.05 for a, b in zip(nlj, nlj[1:]))
+
+    # Beyond the knee (buffer >= page count) pm-NLJ converges to SC.
+    at_large_pm = result.at("pm-nlj", largest)
+    at_large_sc = result.at("sc", largest)
+    assert at_large_pm <= at_large_sc * 1.3
+
+    # The spread collapses: NLJ's I/O at the largest buffer is far below
+    # its small-buffer cost (its total has a CPU floor the buffer cannot
+    # remove, so compare I/O-dominated deltas at a factor 2).
+    assert result.at("nlj", largest) < result.at("nlj", smallest) / 2

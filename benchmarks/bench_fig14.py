@@ -1,0 +1,32 @@
+"""Benchmark: Figure 14 — scalability with dataset size (Landsat).
+
+Paper claims: all methods grow roughly quadratically with dataset size;
+SC is the fastest at every size and its lead grows with the data
+(2-4.3x over EGO, 4-6.5x over BFRJ, 10-150x over NLJ at full scale).
+"""
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14(benchmark, record):
+    result = benchmark.pedantic(figure14, rounds=1, iterations=1)
+    record("figure14", result.to_text())
+
+    # SC is fastest at every dataset size.
+    for k, size in enumerate(result.xs):
+        sc = result.series["sc"][k]
+        for competitor in ("nlj", "bfrj", "ego"):
+            value = result.series[competitor][k]
+            if value is None:
+                continue
+            assert sc <= value * 1.05, (
+                f"size {size}: sc={sc:.2f} vs {competitor}={value:.2f}"
+            )
+
+    # NLJ's gap over SC grows with dataset size (superlinear blowup).
+    first_gap = result.series["nlj"][0] / result.series["sc"][0]
+    last_gap = result.series["nlj"][-1] / result.series["sc"][-1]
+    assert last_gap > first_gap
+
+    # Roughly quadratic growth of NLJ: 4x data -> >= 6x cost.
+    assert result.series["nlj"][-1] > result.series["nlj"][0] * 6

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the individual components.
+
+Not tied to a paper exhibit; these track the wall-clock cost of the
+building blocks so performance regressions are visible in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costcluster import cost_clustering
+from repro.core.square import square_clustering
+from repro.core.sweep import build_prediction_matrix
+from repro.datasets import markov_dna, road_intersections
+from repro.distance.frequency import frequency_vectors_sliding
+from repro.experiments.figures import SPATIAL_EPSILON, lbeach_mcounty
+from repro.index.rstar import RStarTree, build_spatial_page_index
+
+
+def test_rstar_bulk_load(benchmark):
+    points = road_intersections(20_000, seed=0)
+    tree = benchmark(RStarTree.bulk_load_points, points, 64)
+    assert len(tree) == 20_000
+
+
+def test_rstar_insertion(benchmark):
+    points = road_intersections(2_000, seed=0)
+
+    def build():
+        tree = RStarTree(max_entries=32)
+        for k in range(points.shape[0]):
+            tree.insert_point(points[k], k)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) == 2_000
+
+
+def test_prediction_matrix_build(benchmark):
+    r, s = lbeach_mcounty(0.25)
+    matrix, _stats = benchmark(
+        build_prediction_matrix,
+        r.index.root, s.index.root, SPATIAL_EPSILON, r.num_pages, s.num_pages,
+    )
+    assert matrix.num_marked > 0
+
+
+def test_square_clustering_speed(benchmark):
+    r, s = lbeach_mcounty(0.25)
+    matrix, _ = build_prediction_matrix(
+        r.index.root, s.index.root, SPATIAL_EPSILON, r.num_pages, s.num_pages
+    )
+    clusters, _stats = benchmark(square_clustering, matrix, 12)
+    assert clusters
+
+
+def test_cost_clustering_speed(benchmark):
+    r, s = lbeach_mcounty(0.25)
+    matrix, _ = build_prediction_matrix(
+        r.index.root, s.index.root, SPATIAL_EPSILON, r.num_pages, s.num_pages
+    )
+    clusters, _stats = benchmark.pedantic(
+        lambda: cost_clustering(
+            matrix, 12, lambda rows, cols: float(len(rows) + len(cols))
+        ),
+        rounds=1, iterations=1,
+    )
+    assert clusters
+
+
+def test_sliding_frequency_vectors(benchmark):
+    dna = markov_dna(200_000, seed=0)
+    features = benchmark(frequency_vectors_sliding, dna, 192)
+    assert features.shape[1] == 4
+
+
+def test_spatial_page_index(benchmark):
+    points = road_intersections(20_000, seed=0)
+    page_index, reordered = benchmark(build_spatial_page_index, points, 64)
+    assert reordered.shape == points.shape

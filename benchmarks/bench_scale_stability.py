@@ -1,0 +1,35 @@
+"""Validation: the reproduced shapes are stable across dataset scales.
+
+EXPERIMENTS.md claims the reported orderings are scale-stable (the excuse
+for not running the paper's full cardinalities by default).  This bench
+runs Figure 10 at two scales and checks the ladder holds at both.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure10
+
+METHODS = ("nlj", "pm-nlj", "rand-sc", "sc")
+
+
+@pytest.mark.parametrize("scale", [0.25, 0.5])
+def test_figure10_shape_at_scale(benchmark, shape, scale):
+    result = benchmark.pedantic(
+        lambda: figure10(scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(f"scale={scale}")
+    print(result.to_text())
+    io = {m: result.io(m) for m in METHODS}
+    total = {m: result.total(m) for m in METHODS}
+    shape(io, ["nlj", "pm-nlj", "rand-sc", "sc"])
+    shape(total, ["nlj", "pm-nlj", "rand-sc", "sc"])
+
+
+def test_gap_grows_with_scale():
+    """NLJ's disadvantage grows with data size (the quadratic blowup)."""
+    small = figure10(scale=0.25)
+    large = figure10(scale=0.5)
+    small_gap = small.total("nlj") / small.total("sc")
+    large_gap = large.total("nlj") / large.total("sc")
+    assert large_gap > small_gap

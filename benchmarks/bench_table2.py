@@ -1,0 +1,35 @@
+"""Benchmark: Table 2 — SC vs CC I/O cost over four dataset pairs.
+
+Paper claims: CC (the cost-based, CPU-expensive clustering) almost always
+has lower I/O than SC, but SC stays close — so SC is "a very competitive
+clustering technique despite its simplicity".  Both improve as the buffer
+grows.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import table2
+
+
+def test_table2(benchmark, record):
+    results = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record(
+        "table2",
+        "\n\n".join(series.to_text() for series in results.values()),
+    )
+
+    for name, series in results.items():
+        sc = [v for v in series.series["sc"] if v is not None]
+        cc = [v for v in series.series["cc"] if v is not None]
+        assert len(sc) == len(cc) == len(series.xs)
+
+        # SC stays within ~2x of the CC lower bound at every buffer size.
+        for sc_io, cc_io in zip(sc, cc):
+            assert sc_io <= cc_io * 2.0, f"{name}: SC {sc_io:.2f} vs CC {cc_io:.2f}"
+
+        # CC is at least no worse than SC on average (it is the bound).
+        assert np.mean(cc) <= np.mean(sc) * 1.10, name
+
+        # I/O cost trends down as the buffer grows.
+        assert sc[-1] < sc[0]
+        assert cc[-1] < cc[0]

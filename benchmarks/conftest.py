@@ -1,0 +1,52 @@
+"""Benchmark-suite fixtures and shape-assertion helpers.
+
+Every benchmark regenerates one of the paper's exhibits, prints the
+measured table next to the paper's numbers, and asserts the *shape*
+claims (who wins, roughly by how much).  Absolute simulated seconds are
+not compared against the paper — the substrate is a simulator, not the
+authors' 2002 testbed (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def assert_ordering(values: dict, ordering: list, slack: float = 1.0) -> None:
+    """Assert values[ordering[0]] >= values[ordering[1]] >= ... (with slack).
+
+    ``slack`` < 1 tolerates small inversions (e.g. 0.95 allows the later
+    method to be up to ~5 % above the earlier one).
+    """
+    for earlier, later in zip(ordering, ordering[1:]):
+        assert values[later] <= values[earlier] / slack + 1e-12, (
+            f"expected {later} <= {earlier}: "
+            f"{later}={values[later]:.3f} vs {earlier}={values[earlier]:.3f}"
+        )
+
+
+@pytest.fixture(scope="session")
+def shape():
+    return assert_ordering
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a measured table and persist it under benchmarks/results/.
+
+    pytest captures stdout by default, so the persistent copy is what
+    survives a plain ``pytest benchmarks/ --benchmark-only`` run; use
+    ``-s`` to also see the tables live.
+    """
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def record():
+    return record_result

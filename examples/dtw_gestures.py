@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Subsequence join under dynamic time warping — the "any metric" claim.
+
+The paper's framework works for any distance with a lower-bounding page
+predictor.  This example joins sensor-like traces under banded DTW: page
+MBRs are widened by the Sakoe-Chiba band envelope (a valid DTW lower
+bound, see ``repro.distance.dtw``), so the prediction matrix stays
+complete even though DTW warps time.
+
+We plant time-warped copies of a gesture motif into two traces; Euclidean
+matching misses the warped copies, DTW finds them.
+
+Run:  python examples/dtw_gestures.py
+"""
+
+import numpy as np
+
+from repro.core.join import IndexedDataset, join
+
+WINDOW = 24
+BAND = 3
+
+
+def make_trace(length: int, motif: np.ndarray, positions, warps, seed: int) -> np.ndarray:
+    """A wandering baseline with time-warped motif copies planted on it."""
+    rng = np.random.default_rng(seed)
+    trace = rng.normal(size=length).cumsum() * 0.3
+    for position, warp in zip(positions, warps):
+        stretched = np.interp(
+            np.linspace(0, len(motif) - 1, int(len(motif) * warp)),
+            np.arange(len(motif)),
+            motif,
+        )
+        end = min(length, position + len(stretched))
+        trace[position:end] = stretched[: end - position] + trace[position]
+    return trace
+
+
+def main() -> None:
+    motif = np.sin(np.linspace(0, 3 * np.pi, WINDOW)) * 2.0
+
+    left = make_trace(1500, motif, positions=(300, 900), warps=(1.0, 1.1), seed=1)
+    right = make_trace(1000, motif, positions=(200, 700), warps=(0.95, 1.05), seed=2)
+
+    ds_left = IndexedDataset.from_time_series(
+        left, window_length=WINDOW, windows_per_page=32, dtw_band=BAND
+    )
+    ds_right = IndexedDataset.from_time_series(
+        right, window_length=WINDOW, windows_per_page=32, dtw_band=BAND
+    )
+    euclid_left = IndexedDataset.from_time_series(
+        left, window_length=WINDOW, windows_per_page=32
+    )
+    euclid_right = IndexedDataset.from_time_series(
+        right, window_length=WINDOW, windows_per_page=32
+    )
+
+    epsilon = 1.0
+    dtw_result = join(ds_left, ds_right, epsilon, method="sc", buffer_pages=16)
+    euclid_result = join(euclid_left, euclid_right, epsilon, method="sc", buffer_pages=16)
+
+    print(f"window={WINDOW}, band={BAND}, eps={epsilon}")
+    print(f"DTW join:       {dtw_result.num_pairs:>5} window pairs "
+          f"(io={dtw_result.report.io_seconds:.3f}s)")
+    print(f"Euclidean join: {euclid_result.num_pairs:>5} window pairs "
+          f"(io={euclid_result.report.io_seconds:.3f}s)")
+    print("\nDTW finds the time-warped motif copies Euclidean matching misses;")
+    print("the prediction matrix stays complete because page boxes are widened")
+    print("by the warping band's envelope before the plane sweep.")
+
+    for p, q in dtw_result.pairs[:5]:
+        print(f"  left[{p}:{p + WINDOW}] ~ right[{q}:{q + WINDOW}]")
+
+
+if __name__ == "__main__":
+    main()

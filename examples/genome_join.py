@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's genomics query: similar substrings across two genomes.
+
+"Find all similar genome substring pairs of length 500, one from Human
+Genome and the other from Mouse Genome" (Section 3).  We synthesise two
+chromosomes with shared repeat families, index both with the MRS-index
+(frequency-vector boxes), and run a subsequence join under edit distance.
+The frequency distance prunes window pairs before any dynamic program
+runs, and the prediction matrix prunes page pairs before any I/O happens.
+
+Run:  python examples/genome_join.py
+"""
+
+from repro import subsequence_join
+from repro.datasets import markov_dna
+from repro.datasets.genome import repeat_library
+
+WINDOW = 96
+EDIT_THRESHOLD = 1
+
+
+def main() -> None:
+    shared_families = repeat_library(seed=5)  # LINE/SINE stand-ins both genomes share
+    human = markov_dna(12_000, seed=5, repeats=shared_families, repeat_share=0.15)
+    mouse = markov_dna(8_000, seed=6, repeats=shared_families, repeat_share=0.15)
+    print(f"human: {len(human)} nt, mouse: {len(mouse)} nt, "
+          f"window={WINDOW}, edit threshold={EDIT_THRESHOLD}")
+
+    for method in ("pm-nlj", "sc", "ego"):
+        result = subsequence_join(
+            human, mouse,
+            window_length=WINDOW,
+            epsilon=EDIT_THRESHOLD,
+            method=method,
+            buffer_pages=16,
+            windows_per_page=64,
+        )
+        r = result.report
+        print(f"{method:>7}: {result.num_pairs:>6} substring pairs, "
+              f"io={r.io_seconds:.3f}s cpu={r.cpu_seconds:.3f}s "
+              f"reads={r.page_reads} seeks={r.seeks}")
+
+    print("\nEGO pays random seeks because sequence data cannot be reordered"
+          "\non disk (overlapping windows pin the layout) — the core reason"
+          "\nthe paper introduces prediction-matrix clustering.")
+
+    sample = subsequence_join(
+        human, mouse, window_length=WINDOW, epsilon=EDIT_THRESHOLD,
+        method="sc", buffer_pages=16, windows_per_page=64,
+    )
+    for p, q in sample.offsets[:2]:
+        print(f"\nhuman[{p}:{p + WINDOW}] = {human[p:p + WINDOW]}"
+              f"\nmouse[{q}:{q + WINDOW}] = {mouse[q:q + WINDOW]}")
+
+
+if __name__ == "__main__":
+    main()

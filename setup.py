@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``python setup.py develop``) in offline
+environments whose setuptools predates PEP-660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of *Joining Massive High-Dimensional Datasets*.
+
+Kahveci, Lang & Singh (ICDE 2003): I/O-optimal similarity joins over
+massive spatial and sequence datasets via a page-pair *prediction matrix*,
+buffer-fitting clustering (SC/CC), and sharing-graph cluster scheduling.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import IndexedDataset, join
+>>> rng = np.random.default_rng(7)
+>>> hotels = IndexedDataset.from_points(rng.random((500, 2)), page_capacity=16)
+>>> parks = IndexedDataset.from_points(rng.random((400, 2)), page_capacity=16)
+>>> result = join(hotels, parks, epsilon=0.05, method="sc", buffer_pages=20)
+>>> result.report.page_reads <= join(
+...     hotels, parks, epsilon=0.05, method="nlj", buffer_pages=20
+... ).report.page_reads
+True
+"""
+
+from repro.core.join import JOIN_METHODS, IndexedDataset, JoinResult, join
+from repro.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.errors import InfeasibleBufferError, ReproError
+from repro.sequence.subjoin import subsequence_join
+from repro.storage.stats import CostReport
+
+__all__ = [
+    "IndexedDataset",
+    "JoinResult",
+    "join",
+    "JOIN_METHODS",
+    "subsequence_join",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "CostReport",
+    "ReproError",
+    "InfeasibleBufferError",
+]
+
+__version__ = "1.0.0"

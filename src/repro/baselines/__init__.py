@@ -1,0 +1,17 @@
+"""Competing join techniques the paper evaluates against.
+
+* :mod:`repro.baselines.nlj` — block nested-loop join;
+* :mod:`repro.baselines.ego` — epsilon grid ordering (Böhm et al., SIGMOD'01);
+* :mod:`repro.baselines.bfrj` — breadth-first R-tree join (Huang et al., VLDB'97).
+
+All run against the same simulated disk, buffer pool and page-pair joiner
+as the paper's methods, so their cost reports are directly comparable.
+"""
+
+from repro.baselines.bfrj import bfrj_join
+from repro.baselines.ego import ego_join
+from repro.baselines.ekdb import ekdb_join
+from repro.baselines.nlj import block_nlj
+from repro.baselines.zorder import zorder_join
+
+__all__ = ["block_nlj", "ego_join", "bfrj_join", "ekdb_join", "zorder_join"]

@@ -1,0 +1,222 @@
+"""Epsilon grid ordering — EGO (Böhm, Braunmüller, Krebs, Kriegel; SIGMOD'01).
+
+EGO overlays an ε-grid on the data space, orders objects by the
+lexicographic order of their grid cells, physically re-sorts the dataset
+into that order, and then joins with a near-diagonal scan: an object can
+only match objects whose first-dimension cell differs by at most one, so
+candidates form a contiguous run of the sorted file.
+
+Two properties the paper exploits:
+
+* the re-sort is an *extra* cost (external sort passes over the data);
+* **sequence data cannot be re-sorted** — overlapping windows pin the
+  layout (Section 3).  For text/series datasets this implementation keeps
+  the physical order and processes pages in *logical* EGO order instead,
+  which turns the scan's page accesses into random seeks.  This is exactly
+  the degradation Figure 13(c) shows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.executor import ExecutionOutcome
+from repro.costmodel import CostModel
+from repro.geometry import Rect
+from repro.storage.buffer import BufferPool
+from repro.storage.page import VectorPagedDataset
+
+__all__ = ["ego_join"]
+
+
+def ego_join(
+    r,  # IndexedDataset
+    s,  # IndexedDataset
+    epsilon: float,
+    pool: BufferPool,
+    joiner,
+    cost_model: CostModel,
+    self_join: bool,
+    collect_pairs: bool = True,
+) -> Tuple[ExecutionOutcome, float, dict]:
+    """Run EGO; returns (outcome, preprocess seconds, extra report fields)."""
+    if r.kind == "vector":
+        return _ego_reorderable(
+            r, s, epsilon, pool, cost_model, self_join, collect_pairs
+        )
+    return _ego_sequence(r, s, epsilon, pool, joiner, cost_model, self_join)
+
+
+# -- reorderable (point/spatial) path -------------------------------------------
+
+
+def _ego_reorderable(r, s, epsilon, pool, cost_model, self_join, collect_pairs):
+    outcome = ExecutionOutcome()
+    disk = pool.disk
+    cell = epsilon if epsilon > 0 else 1.0
+
+    ego_r, order_r = _build_sorted_copy(r, cell, pool, "ego-r")
+    if self_join:
+        ego_s, order_s = ego_r, order_r
+    else:
+        ego_s, order_s = _build_sorted_copy(s, cell, pool, "ego-s")
+
+    # External-sort charge: read + write the file once per merge pass.
+    passes = _sort_passes(r.num_pages, pool.capacity)
+    disk.charge_stream(2 * r.num_pages * passes, 2 * passes)
+    if not self_join:
+        passes_s = _sort_passes(s.num_pages, pool.capacity)
+        disk.charge_stream(2 * s.num_pages * passes_s, 2 * passes_s)
+
+    boxes_r = _page_boxes(ego_r)
+    boxes_s = boxes_r if self_join else _page_boxes(ego_s)
+    lo0_s = np.asarray([box.lo[0] for box in boxes_s])
+    hi0_cummax_s = np.maximum.accumulate(np.asarray([box.hi[0] for box in boxes_s]))
+
+    assert r.distance is not None
+    p_norm = r.distance.p
+    pool.reserve(1)  # the streamed outer page occupies one frame
+    try:
+        for i, box_i in enumerate(boxes_r):
+            disk.read(ego_r.dataset_id, i)
+            outer = ego_r.page_objects(i)
+            outcome.pages_read += 1
+            j_start = int(np.searchsorted(hi0_cummax_s, float(box_i.lo[0]) - epsilon))
+            j_end = int(np.searchsorted(lo0_s, float(box_i.hi[0]) + epsilon, side="right"))
+            for j in range(j_start, j_end):
+                if self_join and j < i:
+                    continue
+                if box_i.min_dist(boxes_s[j], p=p_norm) > epsilon:
+                    continue
+                was_hit = pool.contains(ego_s.dataset_id, j)
+                inner = pool.fetch(ego_s.dataset_id, j)
+                if was_hit:
+                    outcome.pages_reused += 1
+                else:
+                    outcome.pages_read += 1
+                _join_sorted_pages(
+                    r.distance, epsilon, cost_model, outcome,
+                    outer, inner, ego_r, ego_s, order_r, order_s, i, j,
+                    self_join, collect_pairs,
+                )
+    finally:
+        pool.reserve(0)
+
+    preprocess = cost_model.cpu_cost(
+        _nlogn(r.num_objects) + (0 if self_join else _nlogn(s.num_objects))
+    )
+    return outcome, preprocess, {"ego_sort_passes": passes}
+
+
+def _build_sorted_copy(dataset, cell, pool, tag):
+    vectors = dataset.paged.vectors
+    cells = np.floor(vectors / cell).astype(np.int64)
+    order = np.lexsort(tuple(cells[:, dim] for dim in reversed(range(cells.shape[1]))))
+    per_page = math.ceil(vectors.shape[0] / dataset.num_pages)
+    copy = VectorPagedDataset(
+        vectors[order],
+        objects_per_page=per_page,
+        dataset_id=f"{dataset.paged.dataset_id}-{tag}",
+    )
+    pool.attach(copy)
+    return copy, order
+
+
+def _page_boxes(dataset: VectorPagedDataset) -> List[Rect]:
+    return [
+        Rect.from_points(dataset.page_objects(page))
+        for page in range(dataset.num_pages)
+    ]
+
+
+def _join_sorted_pages(
+    distance, epsilon, cost_model, outcome,
+    outer, inner, ego_r, ego_s, order_r, order_s, i, j,
+    self_join, collect_pairs,
+):
+    local = distance.pairs_within(outer, inner, epsilon)
+    comparisons = len(outer) * len(inner)
+    outcome.comparisons += comparisons
+    outcome.cpu_seconds += cost_model.cpu_cost(comparisons, distance.comparison_weight)
+    if self_join and i == j:
+        # Diagonal page pair: keep each unordered pair once, drop self
+        # matches (the payload is compared against itself).
+        local = [(a, b) for a, b in local if a < b]
+    outcome.num_pairs += len(local)
+    if not collect_pairs:
+        return
+    for a, b in local:
+        gid_r = int(order_r[ego_r.global_object_id(i, a)])
+        gid_s = int(order_s[ego_s.global_object_id(j, b)])
+        if self_join and gid_r > gid_s:
+            # The sorted copy permutes ids, so order the pair canonically to
+            # match the other methods' (small, large) convention.
+            gid_r, gid_s = gid_s, gid_r
+        outcome.pairs.append((gid_r, gid_s))
+
+
+# -- non-reorderable (sequence) path ---------------------------------------------
+
+
+def _ego_sequence(r, s, epsilon, pool, joiner, cost_model, self_join):
+    """EGO over pages in logical ε-grid order; physical layout untouched."""
+    outcome = ExecutionOutcome()
+    cell = epsilon if epsilon > 0 else 1.0
+    boxes_r = r.index.leaf_boxes
+    boxes_s = boxes_r if self_join else s.index.leaf_boxes
+    # L∞ on the index's leaf boxes is the universally valid page test:
+    # for text the boxes live in frequency space (L∞ <= FD <= ED), and for
+    # DTW series the boxes are already envelope-widened.
+    p_norm = getattr(r.distance, "p", float("inf")) if r.kind == "series" else float("inf")
+
+    ego_order_r = _ego_page_order(boxes_r, cell)
+    # Candidate windows over the S pages sorted by their own EGO order.
+    ego_order_s = ego_order_r if self_join else _ego_page_order(boxes_s, cell)
+    lo0_s = np.asarray([boxes_s[k].lo[0] for k in ego_order_s])
+    hi0_cummax_s = np.maximum.accumulate(
+        np.asarray([boxes_s[k].hi[0] for k in ego_order_s])
+    )
+
+    for i in ego_order_r:
+        box_i = boxes_r[i]
+        r_payload = pool.fetch(r.paged.dataset_id, i)
+        pos_start = int(np.searchsorted(hi0_cummax_s, float(box_i.lo[0]) - epsilon))
+        pos_end = int(np.searchsorted(lo0_s, float(box_i.hi[0]) + epsilon, side="right"))
+        for pos in range(pos_start, pos_end):
+            j = int(ego_order_s[pos])
+            if self_join and j < i:
+                continue
+            if box_i.min_dist(boxes_s[j], p=p_norm) > epsilon:
+                continue
+            s_payload = pool.fetch(s.paged.dataset_id, j)
+            outcome.absorb(joiner(i, j, r_payload, s_payload))
+    outcome.pages_read = pool.disk.stats.transfers
+    preprocess = cost_model.cpu_cost(
+        _nlogn(len(boxes_r)) + (0 if self_join else _nlogn(len(boxes_s)))
+    )
+    return outcome, preprocess, {"ego_logical_order": True}
+
+
+def _ego_page_order(boxes: List[Rect], cell: float) -> np.ndarray:
+    centers = np.asarray([box.center() for box in boxes])
+    cells = np.floor(centers / cell).astype(np.int64)
+    return np.lexsort(tuple(cells[:, dim] for dim in reversed(range(cells.shape[1]))))
+
+
+# -- shared helpers --------------------------------------------------------------
+
+
+def _sort_passes(num_pages: int, buffer_pages: int) -> int:
+    """Merge passes of an external sort with B buffer pages."""
+    if num_pages <= buffer_pages:
+        return 1
+    fan_in = max(2, buffer_pages - 1)
+    runs = math.ceil(num_pages / buffer_pages)
+    return 1 + max(1, math.ceil(math.log(runs, fan_in)))
+
+
+def _nlogn(n: int) -> float:
+    return n * math.log2(max(n, 2))

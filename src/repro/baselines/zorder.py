@@ -1,0 +1,167 @@
+"""Z-order sort-merge join (Orenstein, SIGMOD'86) — extra baseline.
+
+Orenstein's spatial join maps objects onto a space-filling Z-curve
+(Morton order), sorts the data in that order, and merges.  For an
+ε-distance join over points the adaptation is: quantise coordinates to an
+ε-grid, interleave the cell bits into a Morton code, physically re-sort
+both datasets by code, and join page pairs whose MBRs pass the
+lower-bound distance test, reading them in Z-order through the buffer.
+
+Like EGO this pays a re-sort and gains locality from the curve; unlike
+EGO it has no one-dimensional candidate interval (Z-order neighbours are
+not contiguous in code space), so every page-pair box test runs — cheap
+CPU, and the read pattern is what matters.  Cited in the paper's related
+work (Section 2.1); not part of its evaluation.  Point data only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.executor import ExecutionOutcome
+from repro.costmodel import CostModel
+from repro.geometry import Rect
+from repro.storage.buffer import BufferPool
+from repro.storage.page import VectorPagedDataset
+
+__all__ = ["zorder_join", "morton_codes"]
+
+_MAX_TOTAL_BITS = 60
+
+
+def morton_codes(points: np.ndarray, cell: float) -> np.ndarray:
+    """Morton (bit-interleaved) codes of points quantised to ``cell`` width.
+
+    Bits per dimension are capped so the full code fits 60 bits; ties in
+    code order are harmless (they only affect layout, not correctness).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"points must be a non-empty (n, d) array, got {pts.shape}")
+    if cell <= 0:
+        raise ValueError(f"cell width must be positive, got {cell}")
+    dim = pts.shape[1]
+    bits = max(1, _MAX_TOTAL_BITS // dim)
+    cells = np.floor((pts - pts.min(axis=0)) / cell).astype(np.uint64)
+    cells = np.minimum(cells, np.uint64(2**bits - 1))
+    codes = np.zeros(pts.shape[0], dtype=np.uint64)
+    for bit in range(bits):
+        for axis in range(dim):
+            codes |= ((cells[:, axis] >> np.uint64(bit)) & np.uint64(1)) << np.uint64(
+                bit * dim + axis
+            )
+    return codes
+
+
+def zorder_join(
+    r,  # IndexedDataset (kind == "vector")
+    s,  # IndexedDataset (kind == "vector")
+    epsilon: float,
+    pool: BufferPool,
+    cost_model: CostModel,
+    self_join: bool,
+    collect_pairs: bool = True,
+) -> Tuple[ExecutionOutcome, float, dict]:
+    """Run the Z-order join; returns (outcome, preprocess seconds, extras)."""
+    if r.kind != "vector":
+        raise TypeError("the Z-order join handles point data only")
+    outcome = ExecutionOutcome()
+    disk = pool.disk
+    cell = epsilon if epsilon > 0 else 1.0
+
+    z_r, order_r = _sorted_copy(r, cell, pool, "z-r")
+    if self_join:
+        z_s, order_s = z_r, order_r
+    else:
+        z_s, order_s = _sorted_copy(s, cell, pool, "z-s")
+
+    # External re-sort charge (read + write per pass), as for EGO.
+    passes = _sort_passes(r.num_pages, pool.capacity)
+    disk.charge_stream(2 * r.num_pages * passes, 2 * passes)
+    if not self_join:
+        disk.charge_stream(2 * s.num_pages * _sort_passes(s.num_pages, pool.capacity), 2)
+
+    boxes_r = [Rect.from_points(z_r.page_objects(p)) for p in range(z_r.num_pages)]
+    boxes_s = (
+        boxes_r
+        if self_join
+        else [Rect.from_points(z_s.page_objects(p)) for p in range(z_s.num_pages)]
+    )
+    assert r.distance is not None
+    distance = r.distance
+    box_tests = 0
+    pool.reserve(1)
+    try:
+        for i, box_i in enumerate(boxes_r):
+            disk.read(z_r.dataset_id, i)
+            outer = z_r.page_objects(i)
+            outcome.pages_read += 1
+            j_start = i if self_join else 0
+            for j in range(j_start, len(boxes_s)):
+                box_tests += 1
+                if box_i.min_dist(boxes_s[j], p=distance.p) > epsilon:
+                    continue
+                inner = pool.fetch(z_s.dataset_id, j)
+                _join_pages(
+                    distance, epsilon, cost_model, outcome,
+                    outer, inner, z_r, z_s, order_r, order_s, i, j,
+                    self_join, collect_pairs,
+                )
+    finally:
+        pool.reserve(0)
+
+    preprocess = cost_model.cpu_cost(
+        _nlogn(r.num_objects)
+        + (0 if self_join else _nlogn(s.num_objects))
+        + box_tests
+    )
+    return outcome, preprocess, {"zorder_sort_passes": passes, "zorder_box_tests": box_tests}
+
+
+def _sorted_copy(dataset, cell, pool, tag):
+    vectors = dataset.paged.vectors
+    order = np.argsort(morton_codes(vectors, cell), kind="stable")
+    per_page = math.ceil(vectors.shape[0] / dataset.num_pages)
+    copy = VectorPagedDataset(
+        vectors[order],
+        objects_per_page=per_page,
+        dataset_id=f"{dataset.paged.dataset_id}-{tag}",
+    )
+    pool.attach(copy)
+    return copy, order
+
+
+def _join_pages(
+    distance, epsilon, cost_model, outcome,
+    outer, inner, z_r, z_s, order_r, order_s, i, j,
+    self_join, collect_pairs,
+):
+    local = distance.pairs_within(outer, inner, epsilon)
+    comparisons = len(outer) * len(inner)
+    outcome.comparisons += comparisons
+    outcome.cpu_seconds += cost_model.cpu_cost(comparisons, distance.comparison_weight)
+    if self_join and i == j:
+        local = [(a, b) for a, b in local if a < b]
+    for a, b in local:
+        gid_r = int(order_r[z_r.global_object_id(i, a)])
+        gid_s = int(order_s[z_s.global_object_id(j, b)])
+        if self_join and gid_r > gid_s:
+            gid_r, gid_s = gid_s, gid_r
+        outcome.num_pairs += 1
+        if collect_pairs:
+            outcome.pairs.append((gid_r, gid_s))
+
+
+def _sort_passes(num_pages: int, buffer_pages: int) -> int:
+    if num_pages <= buffer_pages:
+        return 1
+    fan_in = max(2, buffer_pages - 1)
+    runs = math.ceil(num_pages / buffer_pages)
+    return 1 + max(1, math.ceil(math.log(runs, fan_in)))
+
+
+def _nlogn(n: int) -> float:
+    return n * math.log2(max(n, 2))

@@ -1,0 +1,50 @@
+"""The paper's contribution: prediction matrix, clustering, scheduling, joins.
+
+Public entry point: :func:`repro.core.join.join` and the
+:class:`repro.core.join.IndexedDataset` builders.
+"""
+
+from repro.core.analysis import (
+    predict_clustered_reads,
+    predict_nlj_reads,
+    predict_pm_nlj_reads,
+)
+from repro.core.bounds import (
+    cluster_page_reads,
+    io_savings_over_pm_nlj,
+    nlj_page_reads,
+    pm_nlj_min_page_reads,
+)
+from repro.core.planner import JoinPlan, plan_join
+from repro.core.clusters import Cluster
+from repro.core.costcluster import cost_clustering
+from repro.core.filtering import FilterOutcome, iterative_filter
+from repro.core.join import IndexedDataset, JoinResult, join
+from repro.core.prediction import PredictionMatrix
+from repro.core.schedule import greedy_cluster_order, sharing_graph
+from repro.core.square import square_clustering
+from repro.core.sweep import build_prediction_matrix
+
+__all__ = [
+    "PredictionMatrix",
+    "build_prediction_matrix",
+    "iterative_filter",
+    "FilterOutcome",
+    "Cluster",
+    "square_clustering",
+    "cost_clustering",
+    "sharing_graph",
+    "greedy_cluster_order",
+    "pm_nlj_min_page_reads",
+    "cluster_page_reads",
+    "io_savings_over_pm_nlj",
+    "nlj_page_reads",
+    "IndexedDataset",
+    "JoinResult",
+    "join",
+    "predict_nlj_reads",
+    "predict_pm_nlj_reads",
+    "predict_clustered_reads",
+    "JoinPlan",
+    "plan_join",
+]

@@ -1,0 +1,75 @@
+"""The paper's analytic I/O bounds as checkable functions.
+
+These are Lemma 1, Lemma 2 and Theorem 2 of Section 6/7, used both by the
+tests (the executor's measured page reads must meet them) and by the
+experiment harness for sanity panels.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "pm_nlj_min_page_reads",
+    "nlj_page_reads",
+    "cluster_page_reads",
+    "io_savings_over_pm_nlj",
+]
+
+
+def pm_nlj_min_page_reads(marked_entries: int, marked_rows: int, marked_cols: int) -> int:
+    """Lemma 1: pm-NLJ performs at least ``e + min(r, c)`` reads for a region.
+
+    The optimal pm-NLJ strategy iterates over the smaller side, reading each
+    of its ``min(r, c)`` pages once, and streams the matching partner pages
+    — one read per marked entry.
+    """
+    _check_region(marked_entries, marked_rows, marked_cols)
+    return marked_entries + min(marked_rows, marked_cols)
+
+
+def nlj_page_reads(total_rows: int, total_cols: int) -> int:
+    """NLJ's read count: pm-NLJ with every entry marked (Section 6).
+
+    ``r' * c' + min(r', c')`` for a prediction matrix of ``r'`` rows and
+    ``c'`` columns.
+    """
+    if total_rows <= 0 or total_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    return total_rows * total_cols + min(total_rows, total_cols)
+
+
+def cluster_page_reads(marked_rows: int, marked_cols: int, buffer_pages: int) -> int:
+    """Lemma 2: ``r + c`` reads join a cluster, provided ``r + c <= B``."""
+    if marked_rows < 0 or marked_cols < 0:
+        raise ValueError("row/column counts must be non-negative")
+    if marked_rows + marked_cols > buffer_pages:
+        raise ValueError(
+            f"cluster with {marked_rows}+{marked_cols} pages does not fit a "
+            f"{buffer_pages}-page buffer"
+        )
+    return marked_rows + marked_cols
+
+
+def io_savings_over_pm_nlj(
+    marked_entries: int, marked_rows: int, marked_cols: int
+) -> int:
+    """Theorem 2: clustering saves at least ``e − max(r, c)`` reads.
+
+    Difference of Lemma 1 and Lemma 2:
+    ``(e + min(r, c)) − (r + c) = e − max(r, c)``.
+    """
+    _check_region(marked_entries, marked_rows, marked_cols)
+    return marked_entries - max(marked_rows, marked_cols)
+
+
+def _check_region(marked_entries: int, marked_rows: int, marked_cols: int) -> None:
+    if marked_rows <= 0 or marked_cols <= 0:
+        raise ValueError("a region must have at least one marked row and column")
+    if marked_entries < max(marked_rows, marked_cols):
+        raise ValueError(
+            f"{marked_entries} entries cannot span {marked_rows} rows and "
+            f"{marked_cols} columns"
+        )
+    if marked_entries > marked_rows * marked_cols:
+        raise ValueError(
+            f"{marked_entries} entries exceed the {marked_rows}x{marked_cols} grid"
+        )

@@ -1,0 +1,102 @@
+"""Clusters of prediction-matrix entries (Section 7).
+
+A cluster is a set of marked entries together with the distinct R-pages
+(rows) and S-pages (columns) they touch.  By Lemma 2, reading exactly
+those ``r + c`` pages joins every entry of the cluster in memory, so a
+cluster is required to satisfy ``r + c <= B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, List, Set, Tuple
+
+__all__ = ["Cluster"]
+
+Entry = Tuple[int, int]
+PageKey = Tuple[Hashable, int]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """An immutable cluster of marked page-pair entries.
+
+    Attributes
+    ----------
+    cluster_id:
+        Creation-order id (also the default processing order before the
+        sharing-graph scheduler reorders).
+    entries:
+        The marked ``(row, col)`` entries assigned to this cluster.
+    rows / cols:
+        Distinct marked rows / columns (the pages that must be resident).
+    """
+
+    cluster_id: int
+    entries: Tuple[Entry, ...]
+    rows: FrozenSet[int] = field(init=False)
+    cols: FrozenSet[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a cluster must contain at least one entry")
+        object.__setattr__(self, "rows", frozenset(r for r, _c in self.entries))
+        object.__setattr__(self, "cols", frozenset(c for _r, c in self.entries))
+
+    @property
+    def num_entries(self) -> int:
+        """Marked entries in the cluster (the paper's ``e``)."""
+        return len(self.entries)
+
+    @property
+    def num_pages(self) -> int:
+        """Distinct pages the cluster needs resident (``r + c``)."""
+        return len(self.rows) + len(self.cols)
+
+    def fits_in_buffer(self, buffer_pages: int) -> bool:
+        """Lemma 2 precondition: ``r + c <= B``."""
+        return self.num_pages <= buffer_pages
+
+    def page_keys(self, r_dataset_id: Hashable, s_dataset_id: Hashable) -> Set[PageKey]:
+        """Buffer-pool keys of the cluster's pages.
+
+        For a self join both ids coincide and a page marked as both row and
+        column is naturally deduplicated — which is also physically
+        accurate (it occupies one buffer frame).
+        """
+        keys: Set[PageKey] = {(r_dataset_id, row) for row in self.rows}
+        keys.update((s_dataset_id, col) for col in self.cols)
+        return keys
+
+    def shared_pages(
+        self,
+        other: "Cluster",
+        r_dataset_id: Hashable,
+        s_dataset_id: Hashable,
+    ) -> int:
+        """Number of physical pages two clusters have in common.
+
+        This is the sharing-graph edge weight of Definition 1.
+        """
+        mine = self.page_keys(r_dataset_id, s_dataset_id)
+        theirs = other.page_keys(r_dataset_id, s_dataset_id)
+        return len(mine & theirs)
+
+    def row_span(self) -> Tuple[int, int]:
+        """Inclusive (min, max) row of the cluster's entries."""
+        return min(self.rows), max(self.rows)
+
+    def col_span(self) -> Tuple[int, int]:
+        """Inclusive (min, max) column of the cluster's entries."""
+        return min(self.cols), max(self.cols)
+
+    def width(self) -> int:
+        """Column span size — SC minimises this (condition 3 of Section 7.1)."""
+        lo, hi = self.col_span()
+        return hi - lo + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(id={self.cluster_id}, entries={self.num_entries}, "
+            f"rows={len(self.rows)}, cols={len(self.cols)})"
+        )

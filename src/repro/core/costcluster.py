@@ -1,0 +1,300 @@
+"""Cost-based clustering — CC (Section 7.2, Figure 8).
+
+CC builds one cluster at a time:
+
+1. a 2-D density histogram over the remaining marked entries picks the
+   densest bucket; a seed entry is drawn from it;
+2. the cluster starts as the 1×1 rectangle covering the seed and grows one
+   *step* at a time — each step extends the rectangle vertically (to the
+   nearest remaining marked row beyond the boundary that has an entry
+   inside the current column span) or horizontally (symmetric), whichever
+   increases the exact disk cost of reading the cluster's pages the least.
+   The two directions are the two cost-sorted lists of Fagin's threshold
+   algorithm (:mod:`repro.core.ta`);
+3. growth stops when the cluster's pages fill the buffer; all marked
+   entries inside the final rectangle are assigned and removed.
+
+The exact cost callback receives the cluster's marked row and column page
+sets and returns the optimally-scheduled read cost under the linear disk
+model (random seek + sequential transfer), so CC prefers dense clusters
+with pages that are physically adjacent — the paper uses it as an
+approximate lower bound on achievable I/O cost.  It is CPU-expensive by
+design (the paper bounds it by O(e^{3/2}) and reports it only as the
+lower-bound curve of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.clusters import Cluster
+from repro.core.prediction import PredictionMatrix
+from repro.core.ta import threshold_argmin
+
+__all__ = ["cost_clustering", "CostClusteringStats", "PageSetCost"]
+
+# Cost of reading the pages named by (row_pages, col_pages).
+PageSetCost = Callable[[Set[int], Set[int]], float]
+
+_DEFAULT_HISTOGRAM_BINS = 32
+
+
+@dataclass
+class CostClusteringStats:
+    """Work counters (CC's preprocessing cost in the experiment tables)."""
+
+    seeds_drawn: int = 0
+    expansion_steps: int = 0
+    cost_evaluations: int = 0
+    entries_scanned: int = 0
+
+    @property
+    def total_operations(self) -> int:
+        return self.expansion_steps * 4 + self.cost_evaluations * 8 + self.entries_scanned
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One rectangle expansion step."""
+
+    kind: str  # "row" or "col"
+    new_bound: int  # the row/col index the rectangle grows to
+    added_entries: Tuple[Tuple[int, int], ...]
+
+
+class _Rectangle:
+    """The growing cluster rectangle plus its marked row/col page sets."""
+
+    def __init__(self, seed: Tuple[int, int]) -> None:
+        self.row_lo = self.row_hi = seed[0]
+        self.col_lo = self.col_hi = seed[1]
+        self.rows: Set[int] = {seed[0]}
+        self.cols: Set[int] = {seed[1]}
+        self.entries: Set[Tuple[int, int]] = {seed}
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.rows) + len(self.cols)
+
+    def apply(self, move: _Move) -> None:
+        if move.kind == "row":
+            self.row_lo = min(self.row_lo, move.new_bound)
+            self.row_hi = max(self.row_hi, move.new_bound)
+        else:
+            self.col_lo = min(self.col_lo, move.new_bound)
+            self.col_hi = max(self.col_hi, move.new_bound)
+        for row, col in move.added_entries:
+            self.entries.add((row, col))
+            self.rows.add(row)
+            self.cols.add(col)
+
+
+def cost_clustering(
+    matrix: PredictionMatrix,
+    buffer_pages: int,
+    page_set_cost: PageSetCost,
+    histogram_bins: int = _DEFAULT_HISTOGRAM_BINS,
+    rng: np.random.Generator | None = None,
+) -> Tuple[List[Cluster], CostClusteringStats]:
+    """Partition the marked entries into cost-minimal buffer-fitting clusters.
+
+    Parameters
+    ----------
+    matrix:
+        The prediction matrix; not modified.
+    buffer_pages:
+        Buffer size ``B``; every cluster satisfies ``rows + cols <= B``.
+    page_set_cost:
+        Exact read cost of a (row-pages, col-pages) set — typically
+        ``disk.cost_of_read_set`` adapted by the caller.
+    histogram_bins:
+        Density histogram resolution per axis (clipped to matrix shape).
+    rng:
+        Seed-entry source within the densest bucket.  ``None`` picks the
+        lexicographically smallest entry, making CC fully deterministic.
+    """
+    if buffer_pages < 2:
+        raise ValueError(f"buffer must hold at least 2 pages, got {buffer_pages}")
+    if histogram_bins < 1:
+        raise ValueError(f"histogram_bins must be positive, got {histogram_bins}")
+
+    work = matrix.copy()
+    stats = CostClusteringStats()
+    clusters: List[Cluster] = []
+    while work.num_marked:
+        seed = _draw_seed(work, histogram_bins, rng, stats)
+        rect = _grow_cluster(work, seed, buffer_pages, page_set_cost, stats)
+        # Assign every remaining marked entry inside the final rectangle.
+        assigned = _entries_in_rect(work, rect)
+        for entry in assigned:
+            work.unmark(*entry)
+        clusters.append(Cluster(cluster_id=len(clusters), entries=tuple(sorted(assigned))))
+    return clusters, stats
+
+
+# -- seeding ---------------------------------------------------------------
+
+
+def _draw_seed(
+    work: PredictionMatrix,
+    bins: int,
+    rng: np.random.Generator | None,
+    stats: CostClusteringStats,
+) -> Tuple[int, int]:
+    """Densest-bucket seed selection (Figure 8, steps 2 and 3.a)."""
+    stats.seeds_drawn += 1
+    entries = list(work.entries())
+    stats.entries_scanned += len(entries)
+    rows = np.fromiter((r for r, _c in entries), dtype=np.int64, count=len(entries))
+    cols = np.fromiter((c for _r, c in entries), dtype=np.int64, count=len(entries))
+    bins_r = min(bins, work.num_rows)
+    bins_c = min(bins, work.num_cols)
+    bucket_r = rows * bins_r // work.num_rows
+    bucket_c = cols * bins_c // work.num_cols
+    bucket_key = bucket_r * bins_c + bucket_c
+    counts = np.bincount(bucket_key, minlength=bins_r * bins_c)
+    densest = int(counts.argmax())
+    member_mask = bucket_key == densest
+    member_indices = np.nonzero(member_mask)[0]
+    if rng is None:
+        pick = member_indices[np.lexsort((cols[member_indices], rows[member_indices]))[0]]
+    else:
+        pick = rng.choice(member_indices)
+    return int(rows[pick]), int(cols[pick])
+
+
+# -- growth ------------------------------------------------------------------
+
+
+def _grow_cluster(
+    work: PredictionMatrix,
+    seed: Tuple[int, int],
+    buffer_pages: int,
+    page_set_cost: PageSetCost,
+    stats: CostClusteringStats,
+) -> _Rectangle:
+    rect = _Rectangle(seed)
+    base_cost = page_set_cost(rect.rows, rect.cols)
+    stats.cost_evaluations += 1
+
+    while rect.num_pages < buffer_pages and work.num_marked > len(rect.entries):
+        moves = _candidate_moves(work, rect)
+        if not moves:
+            break
+
+        def exact_delta(move: _Move) -> float:
+            stats.cost_evaluations += 1
+            new_rows = rect.rows | {r for r, _c in move.added_entries}
+            new_cols = rect.cols | {c for _r, c in move.added_entries}
+            return page_set_cost(new_rows, new_cols) - base_cost
+
+        row_list = _cost_sorted(
+            [m for m in moves if m.kind == "row"], rect, exact_delta
+        )
+        col_list = _cost_sorted(
+            [m for m in moves if m.kind == "col"], rect, exact_delta
+        )
+        found = threshold_argmin(row_list, col_list, exact_delta)
+        if found is None:
+            break
+        best_move, best_delta = found
+        new_rows = rect.rows | {r for r, _c in best_move.added_entries}
+        new_cols = rect.cols | {c for _r, c in best_move.added_entries}
+        if len(new_rows) + len(new_cols) > buffer_pages:
+            break
+        rect.apply(best_move)
+        base_cost += best_delta
+        stats.expansion_steps += 1
+    return rect
+
+
+def _cost_sorted(
+    moves: List[_Move],
+    rect: _Rectangle,
+    exact_delta: Callable[[_Move], float],
+) -> Iterator[Tuple[float, _Move]]:
+    """One TA list: moves ordered by rectangle-boundary gap (a valid bound).
+
+    A move's cost grows with how far the rectangle must stretch, so the
+    gap-ordered list is ascending in the (zero) lower bound we expose.
+    With at most two moves per direction the lists are tiny; TA's value is
+    skipping the second direction's exact evaluation when the first is
+    already below the threshold.
+    """
+    def gap(move: _Move) -> int:
+        if move.kind == "row":
+            return min(abs(move.new_bound - rect.row_lo), abs(move.new_bound - rect.row_hi))
+        return min(abs(move.new_bound - rect.col_lo), abs(move.new_bound - rect.col_hi))
+
+    ordered = sorted(moves, key=gap)
+    return iter((0.0, move) for move in ordered)
+
+
+def _candidate_moves(work: PredictionMatrix, rect: _Rectangle) -> List[_Move]:
+    """Nearest useful expansion on each of the four sides."""
+    moves: List[_Move] = []
+    down = _nearest_row(work, rect, direction=1)
+    if down is not None:
+        moves.append(down)
+    up = _nearest_row(work, rect, direction=-1)
+    if up is not None:
+        moves.append(up)
+    right = _nearest_col(work, rect, direction=1)
+    if right is not None:
+        moves.append(right)
+    left = _nearest_col(work, rect, direction=-1)
+    if left is not None:
+        moves.append(left)
+    return moves
+
+
+def _nearest_row(work: PredictionMatrix, rect: _Rectangle, direction: int) -> Optional[_Move]:
+    """Nearest row beyond the boundary with an entry in the column span."""
+    row = rect.row_hi + 1 if direction > 0 else rect.row_lo - 1
+    limit = work.num_rows if direction > 0 else -1
+    while row != limit:
+        hits = [
+            col
+            for col in work.row_cols(row)
+            if rect.col_lo <= col <= rect.col_hi and (row, col) not in rect.entries
+        ]
+        if hits:
+            return _Move(
+                kind="row",
+                new_bound=row,
+                added_entries=tuple((row, col) for col in hits),
+            )
+        row += direction
+    return None
+
+
+def _nearest_col(work: PredictionMatrix, rect: _Rectangle, direction: int) -> Optional[_Move]:
+    """Nearest column beyond the boundary with an entry in the row span."""
+    col = rect.col_hi + 1 if direction > 0 else rect.col_lo - 1
+    limit = work.num_cols if direction > 0 else -1
+    while col != limit:
+        hits = [
+            row
+            for row in work.col_rows(col)
+            if rect.row_lo <= row <= rect.row_hi and (row, col) not in rect.entries
+        ]
+        if hits:
+            return _Move(
+                kind="col",
+                new_bound=col,
+                added_entries=tuple((row, col) for row in hits),
+            )
+        col += direction
+    return None
+
+
+def _entries_in_rect(work: PredictionMatrix, rect: _Rectangle) -> List[Tuple[int, int]]:
+    inside: List[Tuple[int, int]] = []
+    for row in range(rect.row_lo, rect.row_hi + 1):
+        for col in work.row_cols(row):
+            if rect.col_lo <= col <= rect.col_hi:
+                inside.append((row, col))
+    return inside

@@ -1,0 +1,76 @@
+"""Cluster execution: batched reads with cache reuse, in-memory joins.
+
+For each cluster in schedule order (Section 8):
+
+1. its pages are brought into the buffer with optimally scheduled reads —
+   pages retained from the previous cluster are reused, not re-read;
+2. every marked entry of the cluster is joined entirely in memory (its two
+   pages are guaranteed resident because ``r + c <= B``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.clusters import Cluster
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PagedDataset
+
+__all__ = ["execute_clusters", "ExecutionOutcome", "PagePairJoin"]
+
+# join(r_page, s_page, r_payload, s_payload) ->
+#   (pairs collected, total pair count, comparisons counted, cpu seconds)
+PagePairJoin = Callable[
+    [int, int, object, object],
+    Tuple[List[Tuple[int, int]], int, int, float],
+]
+
+
+@dataclass
+class ExecutionOutcome:
+    """What the executor measured."""
+
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    num_pairs: int = 0
+    comparisons: int = 0
+    cpu_seconds: float = 0.0
+    pages_read: int = 0
+    pages_reused: int = 0
+
+    def absorb(self, result: Tuple[List[Tuple[int, int]], int, int, float]) -> None:
+        """Fold one joiner result into the running totals."""
+        pairs, count, comparisons, cpu_seconds = result
+        self.pairs.extend(pairs)
+        self.num_pairs += count
+        self.comparisons += comparisons
+        self.cpu_seconds += cpu_seconds
+
+
+def execute_clusters(
+    ordered_clusters: Sequence[Cluster],
+    pool: BufferPool,
+    r_dataset: PagedDataset,
+    s_dataset: PagedDataset,
+    page_pair_join: PagePairJoin,
+) -> ExecutionOutcome:
+    """Process clusters in the given order; returns the measured outcome.
+
+    Raises ``ValueError`` if any cluster does not fit the pool's available
+    frames (Lemma 2's precondition — clustering must have enforced it).
+    """
+    pool.attach(r_dataset)
+    pool.attach(s_dataset)
+    outcome = ExecutionOutcome()
+    r_id = r_dataset.dataset_id
+    s_id = s_dataset.dataset_id
+    for cluster in ordered_clusters:
+        wanted = sorted(cluster.page_keys(r_id, s_id))
+        missing = pool.load_batch(wanted)
+        outcome.pages_read += len(missing)
+        outcome.pages_reused += len(wanted) - len(missing)
+        for row, col in cluster.entries:
+            r_payload = pool.fetch(r_id, row)
+            s_payload = pool.fetch(s_id, col)
+            outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
+    return outcome

@@ -1,0 +1,508 @@
+"""The top-level similarity-join API.
+
+Build an :class:`IndexedDataset` per input (this is the paper's "datasets
+are indexed prior to join operation" step), then call :func:`join` with a
+threshold and a method:
+
+``"nlj"``
+    Block nested-loop join — the no-information baseline.
+``"pm-nlj"``
+    NLJ restricted to the prediction matrix's marked page pairs
+    (Optimization 1).
+``"rand-sc"``
+    Square clustering, clusters processed in seeded-random order
+    (Optimizations 1–2 — the ablation arm of Figures 10/11).
+``"sc"``
+    Square clustering with sharing-graph scheduling (Optimizations 1–3 —
+    the paper's headline method).
+``"cc"``
+    Cost-based clustering with sharing-graph scheduling (the approximate
+    I/O lower bound of Table 2).
+``"ego"``
+    Epsilon grid ordering (Böhm et al.), competing technique.
+``"bfrj"``
+    Breadth-first R-tree join (Huang et al.), competing technique.
+``"ekdb"``
+    ε-kdB tree join (Shim et al.), extra baseline — point data only.
+``"zorder"``
+    Z-order sort-merge join (Orenstein), extra baseline — point data only.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.core.join import IndexedDataset, join
+>>> rng = np.random.default_rng(0)
+>>> r = IndexedDataset.from_points(rng.random((200, 2)), page_capacity=8)
+>>> s = IndexedDataset.from_points(rng.random((150, 2)), page_capacity=8)
+>>> result = join(r, s, epsilon=0.05, method="sc", buffer_pages=12)
+>>> result.report.method
+'sc'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clusters import Cluster
+from repro.core.costcluster import cost_clustering
+from repro.core.executor import ExecutionOutcome, execute_clusters
+from repro.core.joiners import make_numeric_joiner, make_text_joiner, text_dp_weight
+from repro.core.pm_nlj import pm_nlj_join
+from repro.core.prediction import PredictionMatrix
+from repro.core.schedule import greedy_cluster_order
+from repro.core.square import square_clustering
+from repro.core.sweep import build_prediction_matrix
+from repro.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.distance.frequency import DNA_ALPHABET
+from repro.distance.vector import MinkowskiDistance
+from repro.index.mr import MRIndex
+from repro.index.mrs import MRSIndex
+from repro.index.node import PageIndex
+from repro.index.rstar import build_spatial_page_index
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import SequencePagedDataset, VectorPagedDataset
+from repro.storage.stats import CostReport
+
+__all__ = ["IndexedDataset", "JoinResult", "join", "JOIN_METHODS"]
+
+JOIN_METHODS = ("nlj", "pm-nlj", "rand-sc", "sc", "cc", "ego", "bfrj", "ekdb", "zorder")
+
+
+@dataclass
+class IndexedDataset:
+    """A dataset prepared for joining: paged on disk, indexed in memory.
+
+    Use the ``from_*`` constructors; the raw constructor is for advanced
+    composition (e.g. custom indexes in tests).
+    """
+
+    kind: str  # "vector", "series" or "text"
+    paged: "VectorPagedDataset | SequencePagedDataset"
+    index: PageIndex
+    # Any JoinDistance (Minkowski or DTW); None for text (edit distance is
+    # wired through the frequency-filtered text joiner).
+    distance: object = None
+    features: Optional[np.ndarray] = None
+    alphabet: str = DNA_ALPHABET
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_points(
+        cls,
+        vectors: np.ndarray,
+        page_capacity: int = 64,
+        p: float = 2.0,
+        build_method: str = "str",
+        dataset_id: Optional[str] = None,
+    ) -> "IndexedDataset":
+        """Point/spatial data under an L_p norm, indexed by an R*-tree.
+
+        The tree's leaf order defines the on-disk layout (Section 5.1).
+        """
+        page_index, reordered = build_spatial_page_index(
+            vectors, page_capacity, method=build_method
+        )
+        paged = VectorPagedDataset(
+            reordered, page_offsets=page_index.page_offsets, dataset_id=dataset_id
+        )
+        return cls(
+            kind="vector",
+            paged=paged,
+            index=page_index,
+            distance=MinkowskiDistance(p),
+        )
+
+    @classmethod
+    def from_time_series(
+        cls,
+        values: np.ndarray,
+        window_length: int,
+        windows_per_page: int = 256,
+        p: float = 2.0,
+        feature: str = "raw",
+        paa_segments: int = 8,
+        fanout: int = 16,
+        dtw_band: Optional[int] = None,
+        dataset_id: Optional[str] = None,
+    ) -> "IndexedDataset":
+        """A numeric sequence joined on sliding windows (MR-index).
+
+        With ``dtw_band`` set, the join distance becomes banded dynamic
+        time warping: page boxes are widened by the band envelope (so the
+        prediction matrix stays complete for DTW) and window pairs are
+        verified with an LB_Keogh filter plus the banded DP.  Both sides
+        of a join must use the same band.
+        """
+        paged = SequencePagedDataset(
+            np.asarray(values, dtype=np.float64),
+            symbols_per_page=windows_per_page,
+            window_length=window_length,
+            dataset_id=dataset_id,
+        )
+        mr = MRIndex(
+            paged, feature=feature, paa_segments=paa_segments, fanout=fanout,
+            dtw_band=dtw_band,
+        )
+        if feature == "paa" and p != 2.0:
+            raise ValueError("PAA features lower-bound only the Euclidean distance (p=2)")
+        if dtw_band is not None:
+            from repro.distance.dtw import DTWDistance
+
+            distance = DTWDistance(dtw_band)
+        else:
+            distance = MinkowskiDistance(p)
+        return cls(
+            kind="series",
+            paged=paged,
+            index=mr.to_page_index(),
+            distance=distance,
+            features=mr.features if feature != "raw" else None,
+        )
+
+    @classmethod
+    def from_string(
+        cls,
+        text: str,
+        window_length: int,
+        windows_per_page: int = 256,
+        alphabet: str = DNA_ALPHABET,
+        fanout: int = 16,
+        mrs_base_window: Optional[int] = None,
+        dataset_id: Optional[str] = None,
+    ) -> "IndexedDataset":
+        """A string joined on sliding windows under edit distance (MRS-index).
+
+        With ``mrs_base_window`` set (a divisor of ``window_length``), the
+        page boxes are *derived* from an MRS index built at that base
+        resolution instead of being computed at ``window_length`` — the
+        multi-resolution mode where one persistent index serves many
+        window lengths (see :meth:`MRSIndex.derived_boxes`).  Derived
+        boxes are looser, so the prediction matrix may mark more pages;
+        the result set is unchanged.
+        """
+        paged = SequencePagedDataset(
+            text,
+            symbols_per_page=windows_per_page,
+            window_length=window_length,
+            dataset_id=dataset_id,
+        )
+        if mrs_base_window is None:
+            mrs = MRSIndex(paged, alphabet=alphabet, fanout=fanout)
+            index = mrs.to_page_index()
+        else:
+            if mrs_base_window < 1 or window_length % mrs_base_window != 0:
+                raise ValueError(
+                    f"mrs_base_window ({mrs_base_window}) must divide "
+                    f"window_length ({window_length})"
+                )
+            from repro.index._grouping import build_contiguous_hierarchy
+
+            base_paged = SequencePagedDataset(
+                text,
+                symbols_per_page=windows_per_page,
+                window_length=mrs_base_window,
+            )
+            base_mrs = MRSIndex(base_paged, alphabet=alphabet, fanout=fanout)
+            leaf_boxes = base_mrs.derived_boxes(window_length // mrs_base_window)
+            assert len(leaf_boxes) == paged.num_pages
+            root = build_contiguous_hierarchy(leaf_boxes, fanout)
+            index = PageIndex(
+                root=root,
+                leaf_boxes=leaf_boxes,
+                order=np.arange(paged.num_windows, dtype=np.int64),
+                page_offsets=None,
+            )
+        # The object-level filter always uses exact window-length
+        # frequency vectors (cheap to compute, tight to filter with).
+        from repro.distance.frequency import frequency_vectors_sliding
+
+        features = frequency_vectors_sliding(text, window_length, alphabet)
+        return cls(
+            kind="text",
+            paged=paged,
+            index=index,
+            features=features,
+            alphabet=alphabet,
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.paged.num_pages
+
+    @property
+    def num_objects(self) -> int:
+        return self.paged.num_objects
+
+    def full_comparison_weight(self, epsilon: float) -> float:
+        """CPU weight of one unfiltered object comparison (NLJ's currency)."""
+        if self.kind == "text":
+            assert isinstance(self.paged, SequencePagedDataset)
+            return text_dp_weight(self.paged.window_length, epsilon)
+        assert self.distance is not None
+        return self.distance.comparison_weight
+
+
+@dataclass
+class JoinResult:
+    """Join output: the matching object-id pairs plus the cost breakdown.
+
+    With ``count_only=True`` the ``pairs`` list is empty while
+    ``num_pairs`` still reports the exact result cardinality.
+    """
+
+    pairs: List[Tuple[int, int]]
+    report: CostReport
+    matrix: Optional[PredictionMatrix] = None
+    clusters: Optional[List[Cluster]] = None
+
+    @property
+    def num_pairs(self) -> int:
+        return self.report.result_pairs
+
+
+def join(
+    r: IndexedDataset,
+    s: IndexedDataset,
+    epsilon: float,
+    method: str = "sc",
+    buffer_pages: int = 100,
+    cost_model: Optional[CostModel] = None,
+    max_filter_rounds: int = 5,
+    seed: int = 0,
+    keep_details: bool = False,
+    sc_target_aspect: float = 1.0,
+    cc_histogram_bins: int = 32,
+    count_only: bool = False,
+    buffer_policy: str = "lru",
+) -> JoinResult:
+    """Join two indexed datasets: all object pairs within ``epsilon``.
+
+    Pass the same object twice for a self join (the result is then the set
+    of unordered pairs with distinct ids).
+
+    Parameters of note
+    ------------------
+    method:
+        One of :data:`JOIN_METHODS`.
+    buffer_pages:
+        The simulated buffer size ``B``.
+    seed:
+        Drives ``rand-sc``'s shuffle and CC's seed-entry choice.
+    keep_details:
+        Attach the prediction matrix and cluster list to the result.
+    count_only:
+        Report the result cardinality without materialising the id pairs
+        (large experiments produce millions of pairs; the costs are the
+        object of study, not the listing).
+    buffer_policy:
+        Buffer replacement policy; the paper (and the default) is LRU.
+        ``"fifo"`` and ``"mru"`` exist for the replacement-policy ablation.
+    """
+    if method not in JOIN_METHODS:
+        raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if r.kind != s.kind:
+        raise ValueError(f"cannot join datasets of kinds {r.kind!r} and {s.kind!r}")
+
+    model = cost_model or DEFAULT_COST_MODEL
+    self_join = r is s
+    disk = SimulatedDisk(model)
+    pool = BufferPool(disk, buffer_pages, policy=buffer_policy)
+    pool.attach(r.paged)
+    pool.attach(s.paged)
+    joiner = _make_joiner(r, s, epsilon, model, self_join, not count_only)
+
+    if method in ("ego", "bfrj", "ekdb", "zorder"):
+        return _run_competitor(
+            method, r, s, epsilon, pool, joiner, model, self_join, not count_only
+        )
+
+    matrix, sweep_stats = build_prediction_matrix(
+        r.index.root,
+        s.index.root,
+        epsilon,
+        r.num_pages,
+        s.num_pages,
+        max_filter_rounds=max_filter_rounds,
+    )
+    if self_join:
+        matrix.keep_upper_triangle()
+    matrix_seconds = model.cpu_cost(sweep_stats.total_operations)
+
+    preprocess_seconds = 0.0
+    clusters: Optional[List[Cluster]] = None
+    if method == "nlj":
+        from repro.baselines.nlj import block_nlj
+
+        outcome = block_nlj(matrix, pool, r, s, joiner, epsilon, model)
+    elif method == "pm-nlj":
+        outcome = pm_nlj_join(matrix, pool, r.paged, s.paged, joiner)
+    else:  # sc, rand-sc, cc
+        clusters, cluster_ops = _build_clusters(
+            method, matrix, buffer_pages, disk, r, s, seed,
+            sc_target_aspect, cc_histogram_bins,
+        )
+        ordered, ordering_ops = _order_clusters(method, clusters, r, s, seed)
+        preprocess_seconds = model.cpu_cost(cluster_ops + ordering_ops)
+        outcome = execute_clusters(ordered, pool, r.paged, s.paged, joiner)
+        clusters = ordered
+
+    report = _assemble_report(
+        method, preprocess_seconds, outcome, disk, matrix_seconds=matrix_seconds,
+        extra={
+            "marked_entries": matrix.num_marked,
+            "matrix_density": matrix.density(),
+            "num_clusters": len(clusters) if clusters is not None else 0,
+        },
+    )
+    return JoinResult(
+        pairs=outcome.pairs,
+        report=report,
+        matrix=matrix if keep_details else None,
+        clusters=clusters if keep_details else None,
+    )
+
+
+# -- internals --------------------------------------------------------------------
+
+
+def _make_joiner(r, s, epsilon, model, self_join, collect_pairs):
+    if r.kind == "text":
+        assert r.features is not None and s.features is not None
+        return make_text_joiner(
+            r.paged, s.paged, r.features, s.features, epsilon, model, self_join,
+            collect_pairs=collect_pairs,
+        )
+    assert r.distance is not None
+    return make_numeric_joiner(
+        r.paged, s.paged, r.distance, epsilon, model, self_join,
+        collect_pairs=collect_pairs,
+    )
+
+
+def _build_clusters(
+    method: str,
+    matrix: PredictionMatrix,
+    buffer_pages: int,
+    disk: SimulatedDisk,
+    r: IndexedDataset,
+    s: IndexedDataset,
+    seed: int,
+    sc_target_aspect: float,
+    cc_histogram_bins: int,
+) -> Tuple[List[Cluster], int]:
+    if method == "cc":
+        r_id, s_id = r.paged.dataset_id, s.paged.dataset_id
+
+        def page_set_cost(rows, cols) -> float:
+            keys = {(r_id, row) for row in rows} | {(s_id, col) for col in cols}
+            return disk.cost_of_read_set(keys)
+
+        clusters, stats = cost_clustering(
+            matrix,
+            buffer_pages,
+            page_set_cost,
+            histogram_bins=cc_histogram_bins,
+            rng=np.random.default_rng(seed),
+        )
+        return clusters, stats.total_operations
+    clusters, stats = square_clustering(
+        matrix, buffer_pages, target_aspect=sc_target_aspect
+    )
+    return clusters, stats.total_operations
+
+
+def _order_clusters(
+    method: str,
+    clusters: List[Cluster],
+    r: IndexedDataset,
+    s: IndexedDataset,
+    seed: int,
+) -> Tuple[List[Cluster], int]:
+    """Schedule clusters; returns (ordered, op count for CPU accounting)."""
+    if method == "rand-sc":
+        rng = np.random.default_rng(seed)
+        ordered = [clusters[k] for k in rng.permutation(len(clusters))]
+        return ordered, len(clusters)
+    ordered = greedy_cluster_order(clusters, r.paged.dataset_id, s.paged.dataset_id)
+    # Sharing-graph construction inspects every cluster pair's page sets.
+    return ordered, len(clusters) * max(1, len(clusters) - 1) // 2
+
+
+def _run_competitor(
+    method, r, s, epsilon, pool, joiner, model, self_join, collect_pairs
+) -> JoinResult:
+    if method == "ego":
+        from repro.baselines.ego import ego_join
+
+        outcome, preprocess_seconds, extra = ego_join(
+            r, s, epsilon, pool, joiner, model, self_join,
+            collect_pairs=collect_pairs,
+        )
+    elif method == "ekdb":
+        from repro.baselines.ekdb import ekdb_join
+
+        if r.kind != "vector":
+            raise ValueError(
+                "method 'ekdb' joins point data only (the epsilon-kdB tree "
+                "cannot tile sequence windows without replicating them)"
+            )
+        outcome, preprocess_seconds, extra = ekdb_join(
+            r, s, epsilon, pool, model, self_join,
+            collect_pairs=collect_pairs,
+        )
+    elif method == "zorder":
+        from repro.baselines.zorder import zorder_join
+
+        if r.kind != "vector":
+            raise ValueError(
+                "method 'zorder' joins point data only (sequence windows "
+                "cannot be re-sorted along the curve)"
+            )
+        outcome, preprocess_seconds, extra = zorder_join(
+            r, s, epsilon, pool, model, self_join,
+            collect_pairs=collect_pairs,
+        )
+    else:
+        from repro.baselines.bfrj import bfrj_join
+
+        outcome, preprocess_seconds, extra = bfrj_join(
+            r, s, epsilon, pool, joiner, model, self_join
+        )
+    report = _assemble_report(
+        method, preprocess_seconds, outcome, pool.disk, matrix_seconds=0.0, extra=extra
+    )
+    return JoinResult(pairs=outcome.pairs, report=report)
+
+
+def _assemble_report(
+    method: str,
+    preprocess_seconds: float,
+    outcome: ExecutionOutcome,
+    disk: SimulatedDisk,
+    matrix_seconds: float,
+    extra: dict,
+) -> CostReport:
+    merged = dict(extra)
+    merged["matrix_seconds"] = matrix_seconds
+    merged["pages_reused"] = outcome.pages_reused
+    return CostReport(
+        method=method,
+        preprocess_seconds=preprocess_seconds,
+        cpu_seconds=outcome.cpu_seconds,
+        io_seconds=disk.stats.io_seconds,
+        page_reads=disk.stats.transfers,
+        seeks=disk.stats.seeks,
+        buffer_hits=disk.stats.buffer_hits,
+        comparisons=outcome.comparisons,
+        result_pairs=outcome.num_pairs,
+        extra=merged,
+    )

@@ -1,0 +1,173 @@
+"""Page-pair join kernels.
+
+A *joiner* receives a marked page pair's payloads, finds the actual
+joining object pairs, and reports comparison counts plus modeled CPU
+seconds.  All join methods share one joiner per dataset pair, which is
+what makes their result sets — and their CPU-join costs on identical page
+workloads — exactly comparable.
+
+Two kernels exist:
+
+* numeric — vector/window payloads joined by an L_p distance;
+* text — window strings pre-filtered by the frequency distance (the
+  MRS-index object-level filter), then verified with banded edit distance.
+  The expensive DP is only charged for pairs that survive the filter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel import CostModel
+from repro.distance.edit import edit_distance
+from repro.distance.vector import MinkowskiDistance
+from repro.storage.page import PagedDataset, SequencePagedDataset
+
+__all__ = [
+    "make_numeric_joiner",
+    "make_text_joiner",
+    "text_dp_weight",
+]
+
+# (pairs collected, total pair count, comparisons, cpu seconds).  With
+# collect_pairs=False the list stays empty but the count is exact — large
+# experiments only need cardinalities, not materialised id pairs.
+JoinerResult = Tuple[List[Tuple[int, int]], int, int, float]
+
+
+def make_numeric_joiner(
+    r_dataset: PagedDataset,
+    s_dataset: PagedDataset,
+    distance: MinkowskiDistance,
+    epsilon: float,
+    cost_model: CostModel,
+    self_join: bool,
+    collect_pairs: bool = True,
+) -> Callable[[int, int, object, object], JoinerResult]:
+    """Joiner for vector pages (point, spatial, time-series windows)."""
+
+    def join_pages(row: int, col: int, r_payload, s_payload) -> JoinerResult:
+        left = np.asarray(r_payload)
+        right = np.asarray(s_payload)
+        local = distance.pairs_within(left, right, epsilon)
+        comparisons = left.shape[0] * right.shape[0]
+        cpu = cost_model.cpu_cost(comparisons, distance.comparison_weight)
+        if self_join and row == col:
+            local = [(a, b) for a, b in local if a < b]
+        if collect_pairs:
+            pairs = _globalise(local, r_dataset, s_dataset, row, col)
+            return pairs, len(pairs), comparisons, cpu
+        return [], len(local), comparisons, cpu
+
+    return join_pages
+
+
+def text_dp_weight(window_length: int, epsilon: float) -> float:
+    """CPU weight of one banded edit-distance run at threshold ``epsilon``."""
+    band = max(1, int(epsilon))
+    return float(window_length * (2 * band + 3))
+
+
+def make_text_joiner(
+    r_dataset: SequencePagedDataset,
+    s_dataset: SequencePagedDataset,
+    r_features: np.ndarray,
+    s_features: np.ndarray,
+    epsilon: float,
+    cost_model: CostModel,
+    self_join: bool,
+    collect_pairs: bool = True,
+) -> Callable[[int, int, object, object], JoinerResult]:
+    """Joiner for string windows: frequency filter, then banded DP.
+
+    ``r_features`` / ``s_features`` are the MRS frequency vectors indexed
+    by window offset; they live with the index (in memory), so consulting
+    them costs CPU but no I/O.
+    """
+    dp_weight = text_dp_weight(r_dataset.window_length, epsilon)
+    limit = int(epsilon)
+    w = r_dataset.window_length
+    windows_r = _byte_windows(r_dataset)
+    windows_s = windows_r if s_dataset is r_dataset else _byte_windows(s_dataset)
+
+    def join_pages(row: int, col: int, r_payload, s_payload) -> JoinerResult:
+        r_windows: Sequence[str] = r_payload
+        s_windows: Sequence[str] = s_payload
+        r_start, _ = r_dataset.window_range(row)
+        s_start, _ = s_dataset.window_range(col)
+        fr = r_features[r_start : r_start + len(r_windows)]
+        fs = s_features[s_start : s_start + len(s_windows)]
+
+        # Stage 1 — frequency-distance filter, vectorised: FD = max(sum of
+        # positive diffs, sum of negative diffs) <= edit distance.
+        diff = fs[None, :, :] - fr[:, None, :]
+        positive = np.clip(diff, 0.0, None).sum(axis=2)
+        negative = np.clip(-diff, 0.0, None).sum(axis=2)
+        fd = np.maximum(positive, negative)
+        cand_a, cand_b = np.nonzero(fd <= epsilon)
+        if self_join and row == col:
+            keep = cand_a < cand_b
+            cand_a, cand_b = cand_a[keep], cand_b[keep]
+
+        # Stage 2 — Hamming filter, vectorised over candidates.  Windows
+        # have equal length, so Hamming(a, b) >= ED(a, b): Hamming <= eps
+        # accepts outright.  The converse rejection holds at eps <= 1 (one
+        # edit between equal-length strings must be a substitution); above
+        # that, survivors fall through to the banded DP.
+        local: List[Tuple[int, int]] = []
+        dp_runs = 0
+        if cand_a.size:
+            hamming = np.count_nonzero(
+                windows_r[r_start + cand_a] != windows_s[s_start + cand_b], axis=1
+            )
+            accepted = hamming <= epsilon
+            for a, b in zip(cand_a[accepted].tolist(), cand_b[accepted].tolist()):
+                local.append((int(a), int(b)))
+            if limit >= 2:
+                for a, b in zip(cand_a[~accepted].tolist(), cand_b[~accepted].tolist()):
+                    dp_runs += 1
+                    if edit_distance(r_windows[a], s_windows[b], max_dist=limit) <= epsilon:
+                        local.append((int(a), int(b)))
+
+        cheap = len(r_windows) * len(s_windows)
+        cpu = (
+            cost_model.cpu_cost(cheap, 1.0)
+            + cost_model.cpu_cost(int(cand_a.size), float(w) / 8.0)
+            + cost_model.cpu_cost(dp_runs, dp_weight)
+        )
+        if collect_pairs:
+            pairs = _globalise(local, r_dataset, s_dataset, row, col)
+            return pairs, len(pairs), cheap + dp_runs, cpu
+        return [], len(local), cheap + dp_runs, cpu
+
+    return join_pages
+
+
+def _byte_windows(dataset: SequencePagedDataset) -> np.ndarray:
+    """All windows of the dataset as a strided (num_windows, w) byte view."""
+    codes = np.frombuffer(str(dataset.sequence).encode("latin-1"), dtype=np.uint8)
+    return np.lib.stride_tricks.sliding_window_view(codes, dataset.window_length)
+
+
+def _globalise(
+    local: List[Tuple[int, int]],
+    r_dataset: PagedDataset,
+    s_dataset: PagedDataset,
+    row: int,
+    col: int,
+) -> List[Tuple[int, int]]:
+    """Map page-local index pairs to dataset-global id pairs.
+
+    Self-join filtering (diagonal ``a < b``) happens before this point;
+    off-diagonal marked entries are kept to the upper triangle by the
+    matrix, and contiguous page ranges guarantee ordered global ids.
+    """
+    return [
+        (
+            r_dataset.global_object_id(row, a),
+            s_dataset.global_object_id(col, b),
+        )
+        for a, b in local
+    ]

@@ -1,0 +1,161 @@
+"""The prediction matrix — the paper's global view of a join (Section 5).
+
+A boolean matrix over page pairs: entry ``(i, j)`` is marked iff the
+lower-bounding distance between page ``i`` of the first dataset and page
+``j`` of the second is within the join threshold, i.e. the page pair may
+contribute to the join.  Stored sparsely — "the prediction matrix stores
+only the marked entries in sparse matrix format" (Section 7.1) — with both
+row-major and column-major mirrors, because SC sweeps columns while
+cluster extraction removes by rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+import numpy as np
+
+__all__ = ["PredictionMatrix"]
+
+Entry = Tuple[int, int]
+
+
+class PredictionMatrix:
+    """Sparse boolean matrix over ``num_rows × num_cols`` page pairs.
+
+    Rows index pages of the first (``R``) dataset, columns pages of the
+    second (``S``) dataset.
+
+    Examples
+    --------
+    >>> m = PredictionMatrix(3, 4)
+    >>> m.mark(0, 1); m.mark(2, 3)
+    >>> m.is_marked(0, 1), m.is_marked(1, 1)
+    (True, False)
+    >>> m.num_marked
+    2
+    """
+
+    def __init__(self, num_rows: int, num_cols: int) -> None:
+        if num_rows <= 0 or num_cols <= 0:
+            raise ValueError(
+                f"matrix dimensions must be positive, got {num_rows}x{num_cols}"
+            )
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self._rows: Dict[int, Set[int]] = {}
+        self._cols: Dict[int, Set[int]] = {}
+        self._count = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def mark(self, row: int, col: int) -> None:
+        """Mark the entry ``(row, col)``; idempotent."""
+        self._check(row, col)
+        row_set = self._rows.setdefault(row, set())
+        if col in row_set:
+            return
+        row_set.add(col)
+        self._cols.setdefault(col, set()).add(row)
+        self._count += 1
+
+    def unmark(self, row: int, col: int) -> None:
+        """Remove a marked entry; raises ``KeyError`` if it is not marked."""
+        try:
+            self._rows[row].remove(col)
+        except KeyError:
+            raise KeyError(f"entry ({row}, {col}) is not marked") from None
+        if not self._rows[row]:
+            del self._rows[row]
+        self._cols[col].remove(row)
+        if not self._cols[col]:
+            del self._cols[col]
+        self._count -= 1
+
+    def keep_upper_triangle(self) -> None:
+        """Drop entries with ``row > col`` (self-join symmetry reduction).
+
+        A self-join marks both ``(i, j)`` and ``(j, i)``; joining one of
+        them produces every result pair, so half the matrix is redundant.
+        """
+        doomed = [
+            (row, col)
+            for row, cols in self._rows.items()
+            for col in cols
+            if row > col
+        ]
+        for row, col in doomed:
+            self.unmark(row, col)
+
+    # -- queries ------------------------------------------------------------
+
+    def is_marked(self, row: int, col: int) -> bool:
+        self._check(row, col)
+        return col in self._rows.get(row, ())
+
+    @property
+    def num_marked(self) -> int:
+        """Number of marked entries (the paper's ``e``)."""
+        return self._count
+
+    def marked_rows(self) -> List[int]:
+        """Sorted rows that contain at least one marked entry."""
+        return sorted(self._rows)
+
+    def marked_cols(self) -> List[int]:
+        """Sorted columns that contain at least one marked entry."""
+        return sorted(self._cols)
+
+    def row_cols(self, row: int) -> List[int]:
+        """Sorted marked columns of ``row`` (empty if none)."""
+        return sorted(self._rows.get(row, ()))
+
+    def col_rows(self, col: int) -> List[int]:
+        """Sorted marked rows of ``col`` (empty if none)."""
+        return sorted(self._cols.get(col, ()))
+
+    def entries(self) -> Iterator[Entry]:
+        """All marked entries in row-major order."""
+        for row in sorted(self._rows):
+            for col in sorted(self._rows[row]):
+                yield row, col
+
+    def density(self) -> float:
+        """Fraction of marked entries — the join's page-level selectivity."""
+        return self._count / (self.num_rows * self.num_cols)
+
+    def copy(self) -> "PredictionMatrix":
+        """Deep copy (clustering algorithms consume their working copy)."""
+        dup = PredictionMatrix(self.num_rows, self.num_cols)
+        dup._rows = {row: set(cols) for row, cols in self._rows.items()}
+        dup._cols = {col: set(rows) for col, rows in self._cols.items()}
+        dup._count = self._count
+        return dup
+
+    def to_dense(self) -> np.ndarray:
+        """Dense boolean array (small matrices / tests / visualisation)."""
+        dense = np.zeros((self.num_rows, self.num_cols), dtype=bool)
+        for row, cols in self._rows.items():
+            dense[row, list(cols)] = True
+        return dense
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PredictionMatrix):
+            return NotImplemented
+        return (
+            self.num_rows == other.num_rows
+            and self.num_cols == other.num_cols
+            and self._rows == other._rows
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionMatrix({self.num_rows}x{self.num_cols}, "
+            f"marked={self._count}, density={self.density():.4f})"
+        )
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.num_rows and 0 <= col < self.num_cols):
+            raise IndexError(
+                f"entry ({row}, {col}) outside matrix {self.num_rows}x{self.num_cols}"
+            )

@@ -1,0 +1,163 @@
+"""Square clustering — SC (Section 7.1, Figure 6).
+
+SC partitions the marked entries of the prediction matrix into clusters
+that (1) have an equal number of marked rows and columns where possible,
+(2) use the whole buffer (``r + c = B``), and (3) have minimal width.
+Theorem 2 motivates (1): for fixed ``r + c = B`` the saving
+``e − max(r, c)`` is maximised at ``r = c = B/2``.
+
+The algorithm is a two-phase column sweep per cluster, O(e) overall on the
+sparse matrix:
+
+* phase 1 gathers consecutive marked columns (CANDIDATE entries) until
+  about ``B/2`` distinct rows are seen, then fixes the first ``B/2`` of
+  those rows (ASSIGNED);
+* phase 2 keeps admitting further columns that contain entries in the
+  fixed row set until ``r + c = B`` (or the supply runs dry).
+
+Entries of swept columns that fall outside the fixed rows stay in the
+matrix for later clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.clusters import Cluster
+from repro.core.prediction import PredictionMatrix
+
+__all__ = ["square_clustering", "SquareClusteringStats"]
+
+# Phase 2 stops after this many consecutive columns contribute nothing;
+# chasing distant columns would violate SC's minimal-width condition.
+_BARREN_COLUMN_PATIENCE_FACTOR = 1
+
+
+@dataclass
+class SquareClusteringStats:
+    """Work counters (drive the preprocessing-cost bar of Figures 10/11)."""
+
+    entries_scanned: int = 0
+    columns_scanned: int = 0
+    clusters_built: int = 0
+
+    @property
+    def total_operations(self) -> int:
+        return self.entries_scanned + self.columns_scanned
+
+
+def square_clustering(
+    matrix: PredictionMatrix,
+    buffer_pages: int,
+    target_aspect: float = 1.0,
+) -> Tuple[List[Cluster], SquareClusteringStats]:
+    """Partition the marked entries into buffer-fitting square-ish clusters.
+
+    Parameters
+    ----------
+    matrix:
+        The prediction matrix; not modified (a working copy is consumed).
+    buffer_pages:
+        The buffer size ``B``; every produced cluster satisfies
+        ``rows + cols <= B``.
+    target_aspect:
+        Row share of the buffer: target row count is
+        ``B * target_aspect / (1 + target_aspect)``.  The paper's SC uses
+        1.0 (square); other values exist for the aspect-ratio ablation of
+        Theorem 2's observation 1.
+
+    Returns
+    -------
+    (clusters, stats):
+        Clusters in construction order (left to right over the matrix);
+        every marked entry of ``matrix`` appears in exactly one cluster.
+    """
+    if buffer_pages < 2:
+        raise ValueError(f"buffer must hold at least 2 pages, got {buffer_pages}")
+    if target_aspect <= 0:
+        raise ValueError(f"target_aspect must be positive, got {target_aspect}")
+
+    work = matrix.copy()
+    stats = SquareClusteringStats()
+    clusters: List[Cluster] = []
+    target_rows = max(1, min(buffer_pages - 1, round(buffer_pages * target_aspect / (1.0 + target_aspect))))
+    patience = max(1, _BARREN_COLUMN_PATIENCE_FACTOR * buffer_pages)
+
+    while work.num_marked:
+        cluster = _build_one_cluster(work, buffer_pages, target_rows, patience, stats)
+        clusters.append(
+            Cluster(cluster_id=len(clusters), entries=tuple(sorted(cluster)))
+        )
+        stats.clusters_built += 1
+    return clusters, stats
+
+
+def _build_one_cluster(
+    work: PredictionMatrix,
+    buffer_pages: int,
+    target_rows: int,
+    patience: int,
+    stats: SquareClusteringStats,
+) -> List[Tuple[int, int]]:
+    marked_cols = work.marked_cols()
+
+    # Phase 1: accumulate candidate columns until enough distinct rows.
+    seen_rows: dict[int, None] = {}  # insertion-ordered distinct rows
+    phase1_cols: List[int] = []
+    for col in marked_cols:
+        phase1_cols.append(col)
+        stats.columns_scanned += 1
+        for row in work.col_rows(col):
+            stats.entries_scanned += 1
+            seen_rows.setdefault(row, None)
+        if len(seen_rows) >= target_rows:
+            break
+        if len(phase1_cols) + len(seen_rows) >= buffer_pages:
+            break
+
+    chosen_rows = set(sorted(seen_rows)[: min(target_rows, len(seen_rows))])
+
+    # Entries of phase-1 columns restricted to the chosen rows.
+    assigned: List[Tuple[int, int]] = []
+    assigned_cols: set[int] = set()
+    for col in phase1_cols:
+        hits = [row for row in work.col_rows(col) if row in chosen_rows]
+        stats.entries_scanned += len(hits)
+        if hits:
+            assigned_cols.add(col)
+            assigned.extend((row, col) for row in hits)
+
+    # Phase 1 may overshoot the buffer when its last column introduced
+    # several new rows at once; shed trailing columns (larger width first)
+    # until the cluster fits.  At least one column always survives because
+    # chosen_rows <= target_rows <= B - 1.
+    while len(chosen_rows) + len(assigned_cols) > buffer_pages:
+        victim = max(assigned_cols)
+        assigned_cols.remove(victim)
+        assigned = [(row, col) for row, col in assigned if col != victim]
+        chosen_rows = {row for row, _col in assigned}
+
+    # Phase 2: admit further columns while the buffer has room.
+    barren_streak = 0
+    next_cols = (col for col in marked_cols if col > phase1_cols[-1])
+    for col in next_cols:
+        if len(chosen_rows) + len(assigned_cols) >= buffer_pages:
+            break
+        if barren_streak >= patience:
+            break
+        stats.columns_scanned += 1
+        hits = [row for row in work.col_rows(col) if row in chosen_rows]
+        stats.entries_scanned += len(hits)
+        if hits:
+            assigned_cols.add(col)
+            assigned.extend((row, col) for row in hits)
+            barren_streak = 0
+        else:
+            barren_streak += 1
+
+    # A candidate row always contributed at least one phase-1 entry.
+    assert assigned, "square clustering produced an empty cluster"
+    for row, col in assigned:
+        work.unmark(row, col)
+    return assigned

@@ -1,0 +1,5 @@
+"""Deterministic disk/CPU cost model shared by every join technique."""
+
+from repro.costmodel.model import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

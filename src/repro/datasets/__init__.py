@@ -1,0 +1,20 @@
+"""Synthetic dataset generators standing in for the paper's corpora.
+
+The paper evaluates on TIGER road intersections (LBeach, MCounty), Landsat
+feature vectors, and human/mouse chromosome 18.  None of those exact files
+ship here, so seeded generators reproduce their load-bearing structure —
+clustering, intrinsic dimensionality, window self-similarity — at any
+scale (see DESIGN.md §3 for the substitution argument).
+"""
+
+from repro.datasets.genome import markov_dna
+from repro.datasets.landsat import landsat_like
+from repro.datasets.spatial import road_intersections
+from repro.datasets.timeseries import random_walks
+
+__all__ = [
+    "road_intersections",
+    "landsat_like",
+    "markov_dna",
+    "random_walks",
+]

@@ -1,0 +1,156 @@
+"""Markov DNA generator (HChr18 / MChr18 stand-in).
+
+Real chromosomes are far from i.i.d.: nucleotide frequencies are skewed
+(GC content), short-range composition is autocorrelated, and repeat
+families (LINEs/SINEs, tandem repeats) make many window pairs genuinely
+similar under edit distance.  The generator reproduces those properties
+with an order-2 Markov chain plus planted, lightly mutated repeat copies —
+which is what gives a subsequence self-join its non-trivial selectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.frequency import DNA_ALPHABET
+
+__all__ = ["markov_dna", "HCHR18_SIZE", "MCHR18_SIZE"]
+
+HCHR18_SIZE = 4_225_477
+MCHR18_SIZE = 2_313_942
+
+_REPEAT_SHARE = 0.25
+_REPEAT_UNIT = 320
+_POINT_MUTATION_RATE = 0.005
+
+
+_ISOCHORE_BLOCK = 2048
+_ISOCHORE_SPREAD = 0.25
+
+
+def repeat_library(
+    seed: int = 0, num_families: int = 4, unit: int = _REPEAT_UNIT
+) -> list:
+    """Prototype repeat-family strings (LINE/SINE stand-ins).
+
+    Two genomes built with the same library share homologous repeat
+    content — like human and mouse chromosomes sharing transposable
+    element families — which is what gives a cross-genome subsequence
+    join its true matches.
+    """
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    lookup = np.frombuffer(DNA_ALPHABET.encode(), dtype=np.uint8)
+    return [
+        lookup[rng.integers(0, 4, size=unit)].tobytes().decode()
+        for _ in range(num_families)
+    ]
+
+
+def markov_dna(
+    n: int,
+    seed: int = 0,
+    gc_content: float = 0.42,
+    repeat_share: float = _REPEAT_SHARE,
+    isochores: bool = True,
+    repeats: "list | None" = None,
+) -> str:
+    """A length-``n`` DNA string over ``ACGT``.
+
+    ``gc_content`` sets the mean G+C fraction; ``repeat_share`` controls
+    the fraction of the sequence covered by mutated repeat copies (0
+    disables repeats).  ``repeats`` supplies the prototype family strings
+    (see :func:`repeat_library`); by default a library seeded from
+    ``seed`` is used, so equal seeds share families.  With ``isochores``
+    (default) the local GC content and strand skews drift smoothly along
+    the sequence, like the isochore structure of real chromosomes — this
+    is what gives different genome regions distinguishable composition,
+    and hence the MRS-index page boxes their selectivity.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < gc_content < 1.0:
+        raise ValueError(f"gc_content must be in (0, 1), got {gc_content}")
+    if not 0.0 <= repeat_share < 1.0:
+        raise ValueError(f"repeat_share must be in [0, 1), got {repeat_share}")
+    rng = np.random.default_rng(seed)
+
+    base = _markov_string(n, gc_content, rng, isochores)
+    if repeat_share == 0.0 or n < 4 * _REPEAT_UNIT:
+        return base
+    library = repeats if repeats is not None else repeat_library(seed)
+    return _plant_repeats(base, repeat_share, rng, library)
+
+
+def _markov_string(
+    n: int, gc_content: float, rng: np.random.Generator, isochores: bool
+) -> str:
+    if isochores:
+        local_gc = _drift_profile(n, gc_content, _ISOCHORE_SPREAD, rng)
+        # Strand-composition skew drifts independently: regions differ not
+        # only in GC level but in A-vs-T and G-vs-C balance, giving the
+        # frequency space two more separating dimensions.
+        at_skew = _drift_profile(n, 0.5, 0.15, rng)
+        gc_skew = _drift_profile(n, 0.5, 0.15, rng)
+    else:
+        local_gc = np.full(n, gc_content)
+        at_skew = np.full(n, 0.5)
+        gc_skew = np.full(n, 0.5)
+
+    # Position-dependent stationary draw: symbol k is G/C with probability
+    # local_gc[k]; the skews split each class between its two symbols.
+    is_gc = rng.random(n) < local_gc
+    coin = rng.random(n)
+    gc_pick = np.where(coin < gc_skew, 1, 2)   # C vs G
+    at_pick = np.where(coin < at_skew, 0, 3)   # A vs T
+    iid = np.where(is_gc, gc_pick, at_pick).astype(np.int64)
+
+    # Markov chain of the persistence-mixture form: with probability q the
+    # previous symbol repeats, otherwise an i.i.d. local-stationary draw.
+    # This biases runs toward composition persistence (a stand-in for
+    # higher order) and — unlike a general transition matrix — vectorises
+    # exactly: every position takes the draw of its most recent reset.
+    persistence = 0.45
+    resets = rng.random(n) >= persistence
+    resets[0] = True
+    reset_positions = np.where(resets, np.arange(n), 0)
+    last_reset = np.maximum.accumulate(reset_positions)
+    codes = iid[last_reset]
+    lookup = np.frombuffer(DNA_ALPHABET.encode(), dtype=np.uint8)
+    return lookup[codes].tobytes().decode()
+
+
+def _drift_profile(
+    n: int, mean: float, spread: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-position level: a smoothed blockwise random walk around ``mean``."""
+    num_blocks = max(2, -(-n // _ISOCHORE_BLOCK))
+    walk = rng.normal(scale=1.0, size=num_blocks).cumsum()
+    walk -= walk.mean()
+    peak = np.abs(walk).max()
+    if peak > 0:
+        walk = walk / peak * spread
+    block_level = np.clip(mean + walk, 0.12, 0.88)
+    positions = np.linspace(0, num_blocks - 1, n)
+    return np.interp(positions, np.arange(num_blocks), block_level)
+
+
+def _plant_repeats(
+    base: str, repeat_share: float, rng: np.random.Generator, library: list
+) -> str:
+    n = len(base)
+    arr = np.frombuffer(base.encode(), dtype=np.uint8).copy()
+    prototypes = [np.frombuffer(p.encode(), dtype=np.uint8) for p in library]
+
+    covered = 0
+    target = int(n * repeat_share)
+    alphabet = np.frombuffer(DNA_ALPHABET.encode(), dtype=np.uint8)
+    while covered < target:
+        family = prototypes[int(rng.integers(len(prototypes)))]
+        copy = family.copy()
+        unit = copy.shape[0]
+        mutations = rng.random(unit) < _POINT_MUTATION_RATE
+        copy[mutations] = alphabet[rng.integers(0, 4, size=int(mutations.sum()))]
+        position = int(rng.integers(0, n - unit))
+        arr[position : position + unit] = copy
+        covered += unit
+    return arr.tobytes().decode()

@@ -1,0 +1,67 @@
+"""Landsat-like high-dimensional feature vectors.
+
+The paper's Landsat dataset holds 275,465 60-dimensional satellite-image
+feature vectors.  Such features have low *intrinsic* dimensionality (a few
+latent factors drive many correlated bands) and cluster by land-cover
+class — the two properties that make high-dimensional joins tractable and
+that this generator reproduces: a Gaussian-mixture latent space mapped
+through a random linear embedding into 60 dimensions, plus band noise,
+scaled to the unit cube.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["landsat_like", "LANDSAT_SIZE", "LANDSAT_DIM"]
+
+LANDSAT_SIZE = 275_465
+LANDSAT_DIM = 60
+
+
+def landsat_like(
+    n: int,
+    dim: int = LANDSAT_DIM,
+    seed: int = 0,
+    latent_dim: int = 4,
+    num_classes: int = 40,
+    noise: float = 0.02,
+    patch_size: int = 3,
+    patch_jitter: float = 0.002,
+) -> np.ndarray:
+    """``(n, dim)`` correlated feature vectors in the unit cube.
+
+    ``latent_dim`` controls intrinsic dimensionality; ``num_classes`` the
+    cluster count (land-cover classes); ``noise`` the per-band noise level.
+    ``patch_size`` models adjacent pixels of the same land patch: every
+    base vector is emitted ``patch_size`` times with tiny ``patch_jitter``
+    perturbations, which is what gives a small-ε similarity join over
+    image features its true matches (neighbouring pixels look alike).
+    """
+    if n <= 0 or dim <= 0:
+        raise ValueError(f"n and dim must be positive, got n={n}, dim={dim}")
+    if not 1 <= latent_dim <= dim:
+        raise ValueError(f"latent_dim must be in [1, {dim}], got {latent_dim}")
+    if patch_size < 1:
+        raise ValueError(f"patch_size must be at least 1, got {patch_size}")
+    rng = np.random.default_rng(seed)
+
+    num_base = -(-n // patch_size)
+    centers = rng.random((num_classes, latent_dim))
+    weights = rng.dirichlet(np.ones(num_classes) * 2.0)
+    labels = rng.choice(num_classes, size=num_base, p=weights)
+    latent = centers[labels] + rng.normal(scale=0.04, size=(num_base, latent_dim))
+
+    embedding = rng.normal(size=(latent_dim, dim)) / np.sqrt(latent_dim)
+    base = latent @ embedding + rng.normal(scale=noise, size=(num_base, dim))
+
+    features = np.repeat(base, patch_size, axis=0)[:n]
+    features += rng.normal(scale=patch_jitter, size=features.shape)
+    order = rng.permutation(n)
+    features = features[order]
+
+    # Affinely normalise every band into [0, 1] (like 8-bit radiometry).
+    lo = features.min(axis=0)
+    hi = features.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return (features - lo) / span

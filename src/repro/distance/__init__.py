@@ -1,0 +1,45 @@
+"""Distance measures and their lower bounds.
+
+The paper targets joins "when the similarity measure can be any metric";
+Table 1 lists the concrete instantiations, all implemented here:
+
+* vector norms (L1 / L2 / L∞) for point, spatial and time-series data —
+  :class:`MinkowskiDistance`;
+* edit distance for string data — :func:`edit_distance`;
+* frequency distance, the lower bound of edit distance the MRS-index uses —
+  :func:`frequency_distance` / :func:`frequency_vector`.
+"""
+
+from repro.distance.base import JoinDistance
+from repro.distance.dtw import DTWDistance, dtw_distance, envelope, envelope_box
+from repro.distance.edit import EditDistance, edit_distance
+from repro.distance.frequency import (
+    DNA_ALPHABET,
+    frequency_distance,
+    frequency_vector,
+    frequency_vectors_sliding,
+)
+from repro.distance.vector import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+)
+
+__all__ = [
+    "JoinDistance",
+    "DTWDistance",
+    "dtw_distance",
+    "envelope",
+    "envelope_box",
+    "MinkowskiDistance",
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "ChebyshevDistance",
+    "EditDistance",
+    "edit_distance",
+    "frequency_vector",
+    "frequency_vectors_sliding",
+    "frequency_distance",
+    "DNA_ALPHABET",
+]

@@ -1,0 +1,42 @@
+"""The distance interface join algorithms program against."""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+__all__ = ["JoinDistance"]
+
+
+@runtime_checkable
+class JoinDistance(Protocol):
+    """A distance measure usable as the join predicate.
+
+    Implementations must provide exact pairwise evaluation between two page
+    payloads plus a per-comparison CPU weight so the deterministic cost
+    model can charge realistically (an edit distance over length-500
+    windows is thousands of times costlier than one 2-d Euclidean norm).
+    """
+
+    @property
+    def comparison_weight(self) -> float:
+        """Cost of one comparison relative to one plain vector norm."""
+
+    def pairs_within(
+        self,
+        left: Sequence,
+        right: Sequence,
+        epsilon: float,
+    ) -> List[Tuple[int, int]]:
+        """Indices ``(i, j)`` with ``dist(left[i], right[j]) <= epsilon``."""
+
+    def distance(self, a, b) -> float:
+        """Exact distance between two single objects."""
+
+
+def as_pair_array(pairs: List[Tuple[int, int]]) -> np.ndarray:
+    """Utility: pair list as an ``(n, 2)`` int array (empty-safe)."""
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)

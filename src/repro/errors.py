@@ -1,0 +1,15 @@
+"""Package-wide exception types."""
+
+__all__ = ["ReproError", "InfeasibleBufferError"]
+
+
+class ReproError(Exception):
+    """Base class for errors raised by this package."""
+
+
+class InfeasibleBufferError(ReproError):
+    """A join method cannot run within the given buffer budget.
+
+    BFRJ raises this when its intermediate join index alone would exceed
+    the buffer — the reason Figure 13(a) omits BFRJ below 200 pages.
+    """

@@ -1,0 +1,36 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each ``figure*``/``table*`` function in :mod:`repro.experiments.figures`
+regenerates one exhibit of the evaluation section (Section 9) at a
+configurable scale and returns a structured result that the benchmark
+suite prints alongside the paper's own numbers.
+"""
+
+from repro.experiments.figures import (
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    table2,
+)
+from repro.experiments.harness import (
+    MethodRun,
+    run_methods,
+    sweep_buffer_sizes,
+)
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "table2",
+    "MethodRun",
+    "run_methods",
+    "sweep_buffer_sizes",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry for the experiment runners.
+
+Usage::
+
+    python -m repro.experiments figure10 [--scale 0.5]
+    python -m repro.experiments figure12 --scale 0.005
+    python -m repro.experiments figure13
+    python -m repro.experiments table2
+    python -m repro.experiments all
+
+Prints the measured tables next to the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+
+_SINGLE = {
+    "figure10": figures.figure10,
+    "figure11": figures.figure11,
+    "figure12": figures.figure12,
+    "figure14": figures.figure14,
+}
+_MULTI = {
+    "figure13": figures.figure13,
+    "table2": figures.table2,
+}
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_SINGLE) + sorted(_MULTI) + ["all"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale as a fraction of the paper's cardinality "
+             "(default: each runner's calibrated default)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render buffer/size sweeps as ASCII log-log charts",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        sorted(_SINGLE) + sorted(_MULTI) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        started = time.perf_counter()
+        kwargs = {"seed": args.seed}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if name in _SINGLE:
+            runner = _SINGLE[name]
+            result = runner(**_accepted(runner, kwargs))
+            print(result.to_text())
+            _maybe_chart(result, args.chart)
+        else:
+            runner = _MULTI[name]
+            for _key, series in runner(**_accepted(runner, kwargs)).items():
+                print(series.to_text())
+                _maybe_chart(series, args.chart)
+                print()
+        print(f"[{name}: {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+def _maybe_chart(result, enabled: bool) -> None:
+    """Render a SeriesResult as an ASCII chart when --chart is set."""
+    if not enabled:
+        return
+    from repro.experiments.figures import SeriesResult
+    from repro.experiments.plot import ascii_chart
+
+    if isinstance(result, SeriesResult):
+        print()
+        print(ascii_chart(result.xs, result.series, title=result.name))
+
+
+def _accepted(runner, kwargs: dict) -> dict:
+    """Drop kwargs the runner does not take (figure13/table2 have no scale)."""
+    import inspect
+
+    accepted = inspect.signature(runner).parameters
+    return {key: value for key, value in kwargs.items() if key in accepted}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

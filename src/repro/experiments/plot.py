@@ -1,0 +1,101 @@
+"""ASCII charts for experiment series.
+
+The paper's Figures 12-14 are log-log line charts; this module renders
+the same data as terminal plots so `python -m repro.experiments` output
+can be eyeballed without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render named series over ``xs`` as a character grid.
+
+    ``None`` values (infeasible points) are skipped.  Axes are log-scaled
+    by default, matching the paper's figures.
+    """
+    if len(xs) < 2:
+        raise ValueError("need at least two x values to draw a chart")
+    if width < 16 or height < 6:
+        raise ValueError("chart must be at least 16x6 characters")
+
+    points: List[tuple] = []
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length does not match xs")
+        for x, y in zip(xs, values):
+            if y is not None:
+                points.append((float(x), float(y)))
+    if not points:
+        raise ValueError("nothing to plot: every value is None")
+
+    fx = _scale(log_x, [p[0] for p in points])
+    fy = _scale(log_y, [p[1] for p in points])
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        for x, y in zip(xs, values):
+            if y is None:
+                continue
+            col = int(round(fx(float(x)) * (width - 1)))
+            row = height - 1 - int(round(fy(float(y)) * (height - 1)))
+            grid[row][col] = marker
+
+    y_values = [p[1] for p in points]
+    x_values = [p[0] for p in points]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{max(y_values):.3g}"
+    bottom_label = f"{min(y_values):.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_no, row in enumerate(grid):
+        if row_no == 0:
+            label = top_label.rjust(label_width)
+        elif row_no == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{min(x_values):.3g}".ljust(width // 2) + f"{max(x_values):.3g}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * label_width + "  " + x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[k % len(_MARKERS)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def _scale(log: bool, values: Sequence[float]):
+    """Return a function mapping a value into [0, 1] over the data range."""
+    if log:
+        positives = [v for v in values if v > 0]
+        if not positives:
+            log = False
+        else:
+            lo = math.log10(min(positives))
+            hi = math.log10(max(positives))
+            span = hi - lo if hi > lo else 1.0
+            return lambda v: (math.log10(max(v, min(positives))) - lo) / span
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo if hi > lo else 1.0
+    return lambda v: (v - lo) / span

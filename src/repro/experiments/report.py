@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results.
+
+The harness reports in the same shapes as the paper: stacked cost
+breakdowns (Figures 10/11), buffer-size series (Figures 12/13), dataset
+size series (Figure 14), and the SC/CC matrix of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width ASCII table with right-aligned numeric cells."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[k])), *(len(row[k]) for row in cells)) if cells else len(str(headers[k]))
+        for k in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[k]) for k, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[k] for k in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(row[k].rjust(widths[k]) for k in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[Optional[float]]],
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """One row per x value, one column per named series (None = absent)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for k, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            value = series[name][k]
+            row.append("-" if value is None else f"{value:.3f}{unit}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

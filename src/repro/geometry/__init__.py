@@ -1,0 +1,5 @@
+"""Axis-aligned rectangle geometry used by every index and the plane sweep."""
+
+from repro.geometry.rect import Rect, union_all
+
+__all__ = ["Rect", "union_all"]

@@ -1,0 +1,46 @@
+"""Hierarchy builder for sequence indexes.
+
+MR- and MRS-index leaf MBRs cover *contiguous* disk blocks by construction
+("each MBR contains a contiguous disk block", Section 5.1), so their upper
+levels simply group runs of consecutive pages.  This keeps the index
+traversal order aligned with the physical layout — the property the whole
+paper leans on for sequence data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry import Rect, union_all
+from repro.index.node import IndexNode, assign_bfs_ids
+
+__all__ = ["build_contiguous_hierarchy"]
+
+
+def build_contiguous_hierarchy(leaf_boxes: Sequence[Rect], fanout: int) -> IndexNode:
+    """Group consecutive page MBRs into a balanced tree of the given fanout."""
+    if not leaf_boxes:
+        raise ValueError("cannot build a hierarchy over zero pages")
+    if fanout < 2:
+        raise ValueError(f"fanout must be at least 2, got {fanout}")
+    nodes: List[IndexNode] = [
+        IndexNode(box=box, page_no=page_no, level=0)
+        for page_no, box in enumerate(leaf_boxes)
+    ]
+    level = 0
+    while len(nodes) > 1:
+        level += 1
+        nodes = [
+            IndexNode(
+                box=union_all(child.box for child in group),
+                children=list(group),
+                level=level,
+            )
+            for group in _chunks(nodes, fanout)
+        ]
+    assign_bfs_ids(nodes[0])
+    return nodes[0]
+
+
+def _chunks(items: List[IndexNode], size: int) -> List[List[IndexNode]]:
+    return [items[start : start + size] for start in range(0, len(items), size)]

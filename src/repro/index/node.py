@@ -1,0 +1,127 @@
+"""The index-node hierarchy every index structure exposes.
+
+The prediction-matrix construction (Figure 1 of the paper) descends two
+node hierarchies in lock-step: it needs each node's MBR, its children, and
+— at leaf level — the number of the data page the node describes.  This
+module defines that minimal shared shape plus the :class:`PageIndex`
+bundle (root + leaf boxes + the data permutation the index imposed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.geometry import Rect
+
+__all__ = ["IndexNode", "PageIndex"]
+
+
+@dataclass
+class IndexNode:
+    """One node of an MBR hierarchy.
+
+    Leaves (``children == []``) describe exactly one data page and carry its
+    ``page_no``.  Internal nodes aggregate children; ``node_id`` is a
+    BFS-assigned number used by BFRJ to charge index-page reads.
+    """
+
+    box: Rect
+    children: List["IndexNode"] = field(default_factory=list)
+    page_no: Optional[int] = None
+    level: int = 0
+    node_id: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_leaves(self) -> Iterator["IndexNode"]:
+        """All leaves under this node, left to right."""
+        if self.is_leaf:
+            yield self
+            return
+        for child in self.children:
+            yield from child.iter_leaves()
+
+    def count_nodes(self) -> int:
+        """Total nodes in the subtree (including this one)."""
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+    def height(self) -> int:
+        """Leaf level is height 0."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on breakage.
+
+        Invariants: every leaf has a page number, no internal node does,
+        every child box is contained in its parent box, and levels decrease
+        toward the leaves.
+        """
+        if self.is_leaf:
+            assert self.page_no is not None, "leaf node without a page number"
+            assert self.level == 0, f"leaf node at level {self.level}"
+            return
+        assert self.page_no is None, "internal node carries a page number"
+        for child in self.children:
+            assert self.box.contains_rect(child.box), (
+                f"child box {child.box} escapes parent box {self.box}"
+            )
+            assert child.level == self.level - 1, (
+                f"child level {child.level} under parent level {self.level}"
+            )
+            child.validate()
+
+
+def assign_bfs_ids(root: IndexNode) -> int:
+    """Number all nodes in BFS order; returns the node count.
+
+    BFRJ reads index nodes level by level, so BFS numbering makes its
+    index-page access pattern mostly sequential — matching how an R-tree
+    file is typically laid out.
+    """
+    queue = [root]
+    next_id = 0
+    while queue:
+        node = queue.pop(0)
+        node.node_id = next_id
+        next_id += 1
+        queue.extend(node.children)
+    return next_id
+
+
+@dataclass
+class PageIndex:
+    """An index structure ready for prediction-matrix construction.
+
+    Attributes
+    ----------
+    root:
+        Root of the MBR hierarchy; its leaves map one-to-one onto pages.
+    leaf_boxes:
+        ``leaf_boxes[i]`` is the MBR of data page ``i``.
+    order:
+        Permutation of the original object indices the index imposed on the
+        data file (identity for sequence indexes, which cannot reorder).
+    page_offsets:
+        Object-row boundaries of the pages in the reordered file, or
+        ``None`` for sequence data (pages are symbol blocks there).
+    """
+
+    root: IndexNode
+    leaf_boxes: List[Rect]
+    order: np.ndarray
+    page_offsets: Optional[np.ndarray] = None
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.leaf_boxes)
+
+    @property
+    def num_index_nodes(self) -> int:
+        return self.root.count_nodes()

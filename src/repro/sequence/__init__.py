@@ -1,0 +1,11 @@
+"""The subsequence-join operator for sequence data (Section 3)."""
+
+from repro.sequence.subjoin import SubsequenceJoinResult, subsequence_join
+from repro.sequence.windows import window_at, window_count
+
+__all__ = [
+    "subsequence_join",
+    "SubsequenceJoinResult",
+    "window_at",
+    "window_count",
+]

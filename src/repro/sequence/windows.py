@@ -1,0 +1,39 @@
+"""Window arithmetic for subsequence joins.
+
+A *subsequence join* result pair is identified by the start offsets of the
+two windows; these helpers convert between offsets, windows and counts so
+callers never re-derive the off-by-one bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["window_count", "window_at"]
+
+Sequence = Union[str, np.ndarray]
+
+
+def window_count(sequence: Sequence, window_length: int) -> int:
+    """Number of length-``window_length`` windows in ``sequence``."""
+    n = len(sequence)
+    if window_length <= 0:
+        raise ValueError(f"window_length must be positive, got {window_length}")
+    if n < window_length:
+        return 0
+    return n - window_length + 1
+
+
+def window_at(sequence: Sequence, offset: int, window_length: int) -> Sequence:
+    """The window starting at ``offset``.
+
+    Returns a string slice for text, a view for numeric arrays.
+    """
+    count = window_count(sequence, window_length)
+    if not 0 <= offset < count:
+        raise IndexError(
+            f"window offset {offset} out of range (sequence has {count} windows)"
+        )
+    return sequence[offset : offset + window_length]

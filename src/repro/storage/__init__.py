@@ -1,0 +1,36 @@
+"""Storage substrate: simulated linear disk, LRU buffer pool, paged datasets.
+
+Every join technique in this package performs its page reads through a
+:class:`~repro.storage.buffer.BufferPool` backed by a
+:class:`~repro.storage.disk.SimulatedDisk`, so I/O counts, seek counts and
+simulated I/O seconds are accounted uniformly and comparably.
+"""
+
+from repro.storage.buffer import REPLACEMENT_POLICIES, BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import (
+    PagedDataset,
+    SequencePagedDataset,
+    VectorPagedDataset,
+)
+from repro.storage.persist import load_dataset, save_dataset
+from repro.storage.scheduler import plan_batch_read
+from repro.storage.stats import CostReport, IOStats
+from repro.storage.trace import AccessTrace, TraceSummary, attach_trace
+
+__all__ = [
+    "BufferPool",
+    "REPLACEMENT_POLICIES",
+    "SimulatedDisk",
+    "PagedDataset",
+    "VectorPagedDataset",
+    "SequencePagedDataset",
+    "plan_batch_read",
+    "IOStats",
+    "CostReport",
+    "save_dataset",
+    "load_dataset",
+    "AccessTrace",
+    "TraceSummary",
+    "attach_trace",
+]

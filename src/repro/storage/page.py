@@ -1,0 +1,268 @@
+"""Paged datasets: how in-memory data maps onto simulated disk pages.
+
+Two flavours exist, matching the paper's two data classes:
+
+* :class:`VectorPagedDataset` — point/spatial/time-series feature data: an
+  ``(n, d)`` array split into fixed-capacity pages.  Objects are never
+  reordered relative to the array (the R*-tree leaf construction in
+  Section 5.1 sorts the *array* once so leaf MBRs are contiguous; callers
+  do that before constructing the paged dataset).
+* :class:`SequencePagedDataset` — one long sequence (genome string or time
+  series).  Page ``i`` owns the windows *starting* in its symbol range and
+  physically stores ``w − 1`` overlap symbols from the next page so a
+  window never requires two page reads.  This mirrors the paper's
+  observation that sequence data cannot be split into non-overlapping
+  pieces without destroying windows (Section 3); the small fixed overlap
+  is the minimal replication that keeps one-window-one-page true.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = ["PagedDataset", "VectorPagedDataset", "SequencePagedDataset"]
+
+_dataset_counter = itertools.count()
+
+
+def _fresh_dataset_id(prefix: str) -> str:
+    return f"{prefix}-{next(_dataset_counter)}"
+
+
+@runtime_checkable
+class PagedDataset(Protocol):
+    """What join algorithms need from a dataset: pages of joinable objects."""
+
+    dataset_id: Hashable
+
+    @property
+    def num_pages(self) -> int:
+        """Number of disk pages the dataset occupies."""
+
+    @property
+    def num_objects(self) -> int:
+        """Number of joinable objects (vectors or windows) in the dataset."""
+
+    def page_objects(self, page_no: int) -> np.ndarray:
+        """In-memory payload of a page, as an array of joinable objects."""
+
+    def object_count(self, page_no: int) -> int:
+        """Number of joinable objects in a page (no payload materialised)."""
+
+    def global_object_id(self, page_no: int, local_index: int) -> int:
+        """Stable dataset-wide id of an object, for reporting join pairs."""
+
+
+class VectorPagedDataset:
+    """Paging of an ``(n, d)`` float array into disk pages.
+
+    Pages are either fixed-capacity (``objects_per_page``) or delimited by
+    an explicit ``page_offsets`` array — the latter is what index-driven
+    paging produces, where page ``i`` holds exactly the objects of R*-tree
+    leaf ``i`` and leaves are not uniformly full.
+
+    Parameters
+    ----------
+    vectors:
+        The data, one object per row.  A copy is not taken; callers must not
+        mutate the array afterwards.
+    objects_per_page:
+        Fixed page capacity in objects (mutually exclusive with
+        ``page_offsets``).
+    page_offsets:
+        Monotone int array of length ``num_pages + 1`` with
+        ``page_offsets[0] == 0`` and ``page_offsets[-1] == n``; page ``i``
+        covers object rows ``[page_offsets[i], page_offsets[i + 1])``.
+    dataset_id:
+        Optional explicit id; defaults to a fresh unique string.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        objects_per_page: int | None = None,
+        page_offsets: Sequence[int] | None = None,
+        dataset_id: Hashable | None = None,
+    ) -> None:
+        data = np.asarray(vectors, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"vectors must be a non-empty (n, d) array, got shape {data.shape}")
+        if (objects_per_page is None) == (page_offsets is None):
+            raise ValueError("exactly one of objects_per_page or page_offsets must be given")
+        self._data = data
+        if page_offsets is not None:
+            offsets = np.asarray(page_offsets, dtype=np.int64)
+            if (
+                offsets.ndim != 1
+                or offsets.shape[0] < 2
+                or offsets[0] != 0
+                or offsets[-1] != data.shape[0]
+                or np.any(np.diff(offsets) <= 0)
+            ):
+                raise ValueError(
+                    "page_offsets must be strictly increasing, start at 0 and "
+                    f"end at {data.shape[0]}"
+                )
+            self._offsets = offsets
+        else:
+            assert objects_per_page is not None
+            if objects_per_page <= 0:
+                raise ValueError(f"objects_per_page must be positive, got {objects_per_page}")
+            n = data.shape[0]
+            boundaries = list(range(0, n, objects_per_page)) + [n]
+            self._offsets = np.asarray(boundaries, dtype=np.int64)
+        self.dataset_id = dataset_id if dataset_id is not None else _fresh_dataset_id("vec")
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the vectors."""
+        return self._data.shape[1]
+
+    @property
+    def num_objects(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def num_pages(self) -> int:
+        return self._offsets.shape[0] - 1
+
+    def page_slice(self, page_no: int) -> tuple[int, int]:
+        """Half-open object-index range ``[start, stop)`` of a page."""
+        if not 0 <= page_no < self.num_pages:
+            raise IndexError(f"page {page_no} out of range (0..{self.num_pages - 1})")
+        return int(self._offsets[page_no]), int(self._offsets[page_no + 1])
+
+    def page_of_object(self, object_id: int) -> int:
+        """Page holding the object at row ``object_id``."""
+        if not 0 <= object_id < self.num_objects:
+            raise IndexError(f"object {object_id} out of range (0..{self.num_objects - 1})")
+        return int(np.searchsorted(self._offsets, object_id, side="right")) - 1
+
+    def page_objects(self, page_no: int) -> np.ndarray:
+        start, stop = self.page_slice(page_no)
+        return self._data[start:stop]
+
+    def object_count(self, page_no: int) -> int:
+        start, stop = self.page_slice(page_no)
+        return stop - start
+
+    def global_object_id(self, page_no: int, local_index: int) -> int:
+        start, stop = self.page_slice(page_no)
+        if not 0 <= local_index < stop - start:
+            raise IndexError(f"local index {local_index} out of range for page {page_no}")
+        return start + local_index
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full underlying array (read-only by convention)."""
+        return self._data
+
+
+class SequencePagedDataset:
+    """Paging of one long sequence into fixed symbol blocks with overlap.
+
+    The joinable objects of page ``i`` are all windows of length
+    ``window_length`` whose start offset lies in
+    ``[i * symbols_per_page, (i+1) * symbols_per_page)`` and which fit inside
+    the sequence.  The page physically stores its block plus a
+    ``window_length − 1`` tail from the next block, so every such window is
+    served by a single page read.
+
+    ``sequence`` may be a string (genome data, edit distance) or a 1-d float
+    array (time series, vector norms on windows).
+    """
+
+    def __init__(
+        self,
+        sequence: "str | np.ndarray",
+        symbols_per_page: int,
+        window_length: int,
+        dataset_id: Hashable | None = None,
+    ) -> None:
+        if symbols_per_page <= 0:
+            raise ValueError(f"symbols_per_page must be positive, got {symbols_per_page}")
+        if window_length <= 0:
+            raise ValueError(f"window_length must be positive, got {window_length}")
+        if isinstance(sequence, str):
+            self._seq: "str | np.ndarray" = sequence
+            self.is_text = True
+            seq_len = len(sequence)
+        else:
+            arr = np.asarray(sequence, dtype=np.float64)
+            if arr.ndim != 1:
+                raise ValueError(f"sequence array must be 1-d, got shape {arr.shape}")
+            self._seq = arr
+            self.is_text = False
+            seq_len = arr.shape[0]
+        if seq_len < window_length:
+            raise ValueError(
+                f"sequence of length {seq_len} is shorter than window_length {window_length}"
+            )
+        self.symbols_per_page = symbols_per_page
+        self.window_length = window_length
+        self._seq_len = seq_len
+        self.dataset_id = dataset_id if dataset_id is not None else _fresh_dataset_id("seq")
+
+    @property
+    def sequence(self) -> "str | np.ndarray":
+        """The full underlying sequence."""
+        return self._seq
+
+    @property
+    def sequence_length(self) -> int:
+        """Number of symbols in the sequence."""
+        return self._seq_len
+
+    @property
+    def num_windows(self) -> int:
+        """Number of windows of length ``window_length`` in the sequence."""
+        return self._seq_len - self.window_length + 1
+
+    @property
+    def num_objects(self) -> int:
+        return self.num_windows
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self.num_windows // self.symbols_per_page)
+
+    def window_range(self, page_no: int) -> tuple[int, int]:
+        """Half-open range of window start offsets owned by a page."""
+        if not 0 <= page_no < self.num_pages:
+            raise IndexError(f"page {page_no} out of range (0..{self.num_pages - 1})")
+        start = page_no * self.symbols_per_page
+        return start, min(start + self.symbols_per_page, self.num_windows)
+
+    def page_of_offset(self, offset: int) -> int:
+        """Page owning the window that starts at ``offset``."""
+        if not 0 <= offset < self.num_windows:
+            raise IndexError(f"window offset {offset} out of range (0..{self.num_windows - 1})")
+        return offset // self.symbols_per_page
+
+    def page_objects(self, page_no: int) -> "np.ndarray | list[str]":
+        """All windows owned by the page.
+
+        Text sequences return a list of strings; numeric sequences return a
+        ``(k, window_length)`` float array built with a strided view.
+        """
+        start, stop = self.window_range(page_no)
+        w = self.window_length
+        if self.is_text:
+            seq = self._seq
+            return [seq[off : off + w] for off in range(start, stop)]
+        arr = self._seq
+        windows = np.lib.stride_tricks.sliding_window_view(arr, w)
+        return windows[start:stop]
+
+    def object_count(self, page_no: int) -> int:
+        start, stop = self.window_range(page_no)
+        return stop - start
+
+    def global_object_id(self, page_no: int, local_index: int) -> int:
+        start, stop = self.window_range(page_no)
+        if not 0 <= local_index < stop - start:
+            raise IndexError(f"local index {local_index} out of range for page {page_no}")
+        return start + local_index

@@ -1,0 +1,41 @@
+"""Batch read scheduling — Seeger's "optimal disk scheduling" step.
+
+When a cluster's page set is known up front (Section 8, step 1: "the marked
+pages of both datasets are read using optimal disk scheduling"), reading
+the pages in ascending physical-block order minimises head movement under
+the linear disk model: each maximal run of consecutive blocks costs one
+seek, everything else is sequential transfer.  This module plans that
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple
+
+from repro.storage.disk import SimulatedDisk
+
+__all__ = ["plan_batch_read", "count_runs"]
+
+PageKey = Tuple[Hashable, int]
+
+
+def plan_batch_read(disk: SimulatedDisk, pages: Iterable[PageKey]) -> List[PageKey]:
+    """Order a page set for minimal seeks on ``disk``.
+
+    Returns the pages sorted by physical block address (duplicates removed —
+    reading the same page twice in one batch is never useful).
+    """
+    unique = {page: disk.block_of(*page) for page in set(pages)}
+    return sorted(unique, key=unique.__getitem__)
+
+
+def count_runs(disk: SimulatedDisk, pages: Iterable[PageKey]) -> int:
+    """Number of maximal consecutive-block runs in a page set.
+
+    Equals the number of seeks an optimally scheduled batch read performs
+    (assuming the head starts away from the set).
+    """
+    blocks = sorted({disk.block_of(*page) for page in pages})
+    if not blocks:
+        return 0
+    return 1 + sum(1 for prev, cur in zip(blocks, blocks[1:]) if cur != prev + 1)

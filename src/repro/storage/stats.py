@@ -1,0 +1,90 @@
+"""I/O statistics and per-join cost reports.
+
+:class:`IOStats` is the mutable counter block a :class:`SimulatedDisk`
+updates on every access.  :class:`CostReport` is the immutable summary a
+join method returns — its fields mirror the stacked bars of Figures 10 and
+11 in the paper (preprocess / CPU-join / I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats", "CostReport"]
+
+
+@dataclass
+class IOStats:
+    """Running disk/buffer counters.
+
+    Attributes
+    ----------
+    transfers:
+        Pages physically read from disk.
+    seeks:
+        Reads that required head movement (non-adjacent to previous read).
+    buffer_hits:
+        Page requests served from the buffer pool without touching disk.
+    io_seconds:
+        Simulated seconds spent on disk I/O under the active cost model.
+    """
+
+    transfers: int = 0
+    seeks: int = 0
+    buffer_hits: int = 0
+    io_seconds: float = 0.0
+
+    def snapshot(self) -> "IOStats":
+        """Copy of the current counters (for before/after deltas)."""
+        return IOStats(self.transfers, self.seeks, self.buffer_hits, self.io_seconds)
+
+    def since(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated after ``earlier`` was snapshotted."""
+        return IOStats(
+            transfers=self.transfers - earlier.transfers,
+            seeks=self.seeks - earlier.seeks,
+            buffer_hits=self.buffer_hits - earlier.buffer_hits,
+            io_seconds=self.io_seconds - earlier.io_seconds,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.transfers = 0
+        self.seeks = 0
+        self.buffer_hits = 0
+        self.io_seconds = 0.0
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost breakdown of one join execution, in simulated seconds.
+
+    The three headline fields match the paper's stacked-bar breakdown;
+    the count fields support exact assertions in tests (Lemma 1 / Lemma 2 /
+    Theorem 2 talk about *numbers* of page reads, not seconds).
+    """
+
+    method: str
+    preprocess_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    io_seconds: float = 0.0
+    page_reads: int = 0
+    seeks: int = 0
+    buffer_hits: int = 0
+    comparisons: int = 0
+    result_pairs: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Preprocess + CPU + I/O, the paper's "total cost"."""
+        return self.preprocess_seconds + self.cpu_seconds + self.io_seconds
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.method}: total={self.total_seconds:.3f}s "
+            f"(pre={self.preprocess_seconds:.3f} cpu={self.cpu_seconds:.3f} "
+            f"io={self.io_seconds:.3f}) reads={self.page_reads} "
+            f"seeks={self.seeks} pairs={self.result_pairs}"
+        )

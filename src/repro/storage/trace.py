@@ -1,0 +1,101 @@
+"""Disk access tracing and locality analysis.
+
+Attach a :class:`AccessTrace` to a :class:`SimulatedDisk` to record every
+physical read; then summarise run lengths, per-dataset volumes and seek
+ratios.  Useful for debugging join schedules ("why does this method
+seek?") and for validating that SC's cluster reads really are batched
+runs while EGO's sequence reads really are scattered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.storage.disk import SimulatedDisk
+
+__all__ = ["AccessTrace", "TraceSummary", "attach_trace"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate locality statistics of one recorded trace."""
+
+    total_reads: int
+    total_seeks: int
+    run_count: int
+    mean_run_length: float
+    max_run_length: int
+    reads_per_dataset: Dict[Hashable, int]
+
+    @property
+    def seek_ratio(self) -> float:
+        """Seeks per read — 0 for a pure scan, 1 for fully random access."""
+        if self.total_reads == 0:
+            return 0.0
+        return self.total_seeks / self.total_reads
+
+    def describe(self) -> str:
+        return (
+            f"{self.total_reads} reads in {self.run_count} runs "
+            f"(mean {self.mean_run_length:.1f}, max {self.max_run_length}); "
+            f"seek ratio {self.seek_ratio:.2f}"
+        )
+
+
+class AccessTrace:
+    """Records (dataset_id, page_no, block) for every read of a disk."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[Hashable, int, int]] = []
+
+    def record(self, dataset_id: Hashable, page_no: int, block: int) -> None:
+        self.events.append((dataset_id, page_no, block))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def summary(self) -> TraceSummary:
+        """Run-length and volume statistics of the recorded accesses."""
+        if not self.events:
+            return TraceSummary(0, 0, 0, 0.0, 0, {})
+        runs: List[int] = []
+        current = 1
+        seeks = 1
+        for (_d1, _p1, prev), (_d2, _p2, cur) in zip(self.events, self.events[1:]):
+            if cur == prev + 1:
+                current += 1
+            else:
+                runs.append(current)
+                current = 1
+                seeks += 1
+        runs.append(current)
+        per_dataset = Counter(dataset_id for dataset_id, _p, _b in self.events)
+        return TraceSummary(
+            total_reads=len(self.events),
+            total_seeks=seeks,
+            run_count=len(runs),
+            mean_run_length=sum(runs) / len(runs),
+            max_run_length=max(runs),
+            reads_per_dataset=dict(per_dataset),
+        )
+
+
+def attach_trace(disk: SimulatedDisk) -> AccessTrace:
+    """Wrap ``disk.read`` so every physical read lands in a fresh trace.
+
+    Returns the trace; recording lasts for the disk's lifetime.  Bulk
+    ``charge_stream`` accounting is *not* traced (it has no per-page
+    identity by design).
+    """
+    trace = AccessTrace()
+    original_read = disk.read
+
+    def traced_read(dataset_id: Hashable, page_no: int) -> None:
+        block = disk.block_of(dataset_id, page_no)
+        original_read(dataset_id, page_no)
+        trace.record(dataset_id, page_no, block)
+
+    disk.read = traced_read  # type: ignore[method-assign]
+    return trace

@@ -1,0 +1,56 @@
+"""Unit tests for the epsilon-kdB tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset, join
+
+
+class TestEkdb:
+    def test_results_match_sc(self, vector_pair):
+        r, s = vector_pair
+        ekdb = join(r, s, 0.05, method="ekdb", buffer_pages=10)
+        sc = join(r, s, 0.05, method="sc", buffer_pages=10)
+        assert sorted(ekdb.pairs) == sorted(sc.pairs)
+
+    def test_self_join_matches_sc(self, rng):
+        ds = IndexedDataset.from_points(rng.random((150, 2)), page_capacity=8)
+        ekdb = join(ds, ds, 0.08, method="ekdb", buffer_pages=10)
+        sc = join(ds, ds, 0.08, method="sc", buffer_pages=10)
+        assert sorted(ekdb.pairs) == sorted(sc.pairs)
+
+    def test_high_dimensional_depth_cap(self, rng):
+        """Split depth is capped, so 60-d data still joins correctly."""
+        from repro.datasets import landsat_like
+
+        pool = landsat_like(400, seed=3)
+        r = IndexedDataset.from_points(pool[:250], page_capacity=16)
+        s = IndexedDataset.from_points(pool[250:], page_capacity=16)
+        ekdb = join(r, s, 0.03, method="ekdb", buffer_pages=10)
+        sc = join(r, s, 0.03, method="sc", buffer_pages=10)
+        assert sorted(ekdb.pairs) == sorted(sc.pairs)
+        assert ekdb.report.extra["ekdb_depth"] <= 4
+
+    def test_zero_epsilon(self, rng):
+        pts = rng.random((60, 2))
+        r = IndexedDataset.from_points(pts, page_capacity=8)
+        s = IndexedDataset.from_points(pts.copy(), page_capacity=8)
+        result = join(r, s, 0.0, method="ekdb", buffer_pages=10)
+        assert result.num_pairs == 60
+
+    def test_rejects_sequence_data(self, dna_dataset):
+        with pytest.raises(ValueError, match="point data"):
+            join(dna_dataset, dna_dataset, 1, method="ekdb", buffer_pages=10)
+
+    def test_reports_tile_statistics(self, vector_pair):
+        r, s = vector_pair
+        result = join(r, s, 0.05, method="ekdb", buffer_pages=10, count_only=True)
+        assert result.report.extra["ekdb_tiles"] > 0
+        assert result.report.extra["ekdb_tile_pairs"] > 0
+
+    def test_count_only(self, vector_pair):
+        r, s = vector_pair
+        counted = join(r, s, 0.05, method="ekdb", buffer_pages=10, count_only=True)
+        full = join(r, s, 0.05, method="ekdb", buffer_pages=10)
+        assert counted.pairs == []
+        assert counted.num_pairs == full.num_pairs

@@ -1,0 +1,56 @@
+"""Unit tests for the block NLJ baseline."""
+
+import math
+
+import pytest
+
+from repro.core.join import join
+
+
+class TestBlockNLJ:
+    def test_read_count_formula(self, vector_pair, cost_model):
+        """NLJ reads outer once plus inner once per outer block."""
+        r, s = vector_pair
+        buffer_pages = 6
+        result = join(r, s, 0.05, method="nlj", buffer_pages=buffer_pages,
+                      cost_model=cost_model, count_only=True)
+        pages_outer = min(r.num_pages, s.num_pages)
+        pages_inner = max(r.num_pages, s.num_pages)
+        blocks = math.ceil(pages_outer / (buffer_pages - 2))
+        assert result.report.page_reads == pages_outer + blocks * pages_inner
+
+    def test_mostly_sequential(self, vector_pair, cost_model):
+        r, s = vector_pair
+        result = join(r, s, 0.05, method="nlj", buffer_pages=6,
+                      cost_model=cost_model, count_only=True)
+        # Two seeks per block (one for the block, one for the inner scan).
+        assert result.report.seeks <= 2 * math.ceil(min(r.num_pages, s.num_pages) / 4) + 2
+
+    def test_cpu_counts_full_cross_product(self, vector_pair, cost_model):
+        r, s = vector_pair
+        result = join(r, s, 0.05, method="nlj", buffer_pages=6,
+                      cost_model=cost_model, count_only=True)
+        assert result.report.comparisons == r.num_objects * s.num_objects
+
+    def test_self_join_counts_triangle(self, rng, cost_model):
+        from repro.core.join import IndexedDataset
+
+        ds = IndexedDataset.from_points(rng.random((60, 2)), page_capacity=8)
+        result = join(ds, ds, 0.05, method="nlj", buffer_pages=6,
+                      cost_model=cost_model, count_only=True)
+        n = ds.num_objects
+        assert result.report.comparisons == n * (n + 1) // 2
+
+    def test_results_match_sc(self, vector_pair):
+        r, s = vector_pair
+        nlj = join(r, s, 0.05, method="nlj", buffer_pages=6)
+        sc = join(r, s, 0.05, method="sc", buffer_pages=6)
+        assert sorted(nlj.pairs) == sorted(sc.pairs)
+
+    def test_buffer_growth_reduces_reads(self, vector_pair, cost_model):
+        r, s = vector_pair
+        small = join(r, s, 0.05, method="nlj", buffer_pages=4,
+                     cost_model=cost_model, count_only=True)
+        large = join(r, s, 0.05, method="nlj", buffer_pages=16,
+                     cost_model=cost_model, count_only=True)
+        assert large.report.page_reads < small.report.page_reads

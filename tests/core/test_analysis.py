@@ -1,0 +1,95 @@
+"""The analytic I/O predictors must match the measured executions."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    predict_clustered_reads,
+    predict_nlj_reads,
+    predict_pm_nlj_reads,
+)
+from repro.core.join import IndexedDataset, join
+from repro.core.prediction import PredictionMatrix
+
+
+@pytest.fixture
+def joined(rng):
+    r = IndexedDataset.from_points(rng.random((300, 2)), page_capacity=8)
+    s = IndexedDataset.from_points(rng.random((250, 2)), page_capacity=8)
+    return r, s
+
+
+class TestNljPrediction:
+    def test_matches_measured(self, joined):
+        r, s = joined
+        for buffer_pages in (4, 8, 16):
+            predicted = predict_nlj_reads(r.num_pages, s.num_pages, buffer_pages)
+            measured = join(r, s, 0.05, method="nlj", buffer_pages=buffer_pages,
+                            count_only=True).report.page_reads
+            assert predicted.page_reads == measured
+
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(ValueError):
+            predict_nlj_reads(10, 10, 2)
+
+
+class TestPmNljPrediction:
+    def test_matches_measured_streaming(self, joined):
+        r, s = joined
+        result = join(r, s, 0.05, method="pm-nlj", buffer_pages=2,
+                      count_only=True, keep_details=True)
+        predicted = predict_pm_nlj_reads(result.matrix, 2)
+        assert predicted.page_reads == result.report.page_reads
+
+    def test_matches_measured_pinned(self, joined):
+        r, s = joined
+        big = max(r.num_pages, s.num_pages) + 2
+        result = join(r, s, 0.05, method="pm-nlj", buffer_pages=big,
+                      count_only=True, keep_details=True)
+        predicted = predict_pm_nlj_reads(result.matrix, big)
+        assert predicted.page_reads == result.report.page_reads
+
+    def test_matches_measured_self_join(self, rng):
+        ds = IndexedDataset.from_points(rng.random((200, 2)), page_capacity=8)
+        for buffer_pages in (2, 100):
+            result = join(ds, ds, 0.05, method="pm-nlj", buffer_pages=buffer_pages,
+                          count_only=True, keep_details=True)
+            predicted = predict_pm_nlj_reads(
+                result.matrix, buffer_pages, self_join=True
+            )
+            assert predicted.page_reads == result.report.page_reads
+
+    def test_empty_matrix(self):
+        assert predict_pm_nlj_reads(PredictionMatrix(3, 3), 4).page_reads == 0
+
+
+class TestClusteredPrediction:
+    def test_upper_bounds_measured(self, joined):
+        r, s = joined
+        result = join(r, s, 0.05, method="sc", buffer_pages=8,
+                      count_only=True, keep_details=True)
+        predicted = predict_clustered_reads(
+            result.clusters, r.paged.dataset_id, s.paged.dataset_id
+        )
+        # Exact when only consecutive clusters share pages; otherwise the
+        # prediction is an upper bound (non-adjacent reuse helps further).
+        assert result.report.page_reads <= predicted.page_reads
+
+    def test_prediction_is_lemma2_minus_lemma4(self, joined):
+        r, s = joined
+        result = join(r, s, 0.05, method="sc", buffer_pages=8,
+                      count_only=True, keep_details=True)
+        total = sum(c.num_pages for c in result.clusters)
+        predicted = predict_clustered_reads(
+            result.clusters, r.paged.dataset_id, s.paged.dataset_id
+        )
+        assert predicted.page_reads <= total
+
+    def test_str_rendering(self, joined):
+        r, s = joined
+        result = join(r, s, 0.05, method="sc", buffer_pages=8,
+                      count_only=True, keep_details=True)
+        text = str(predict_clustered_reads(
+            result.clusters, r.paged.dataset_id, s.paged.dataset_id
+        ))
+        assert "Lemma 2" in text and "Lemma 4" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the analytic I/O bounds (Lemma 1, Lemma 2, Theorem 2)."""
+
+import pytest
+
+from repro.core.bounds import (
+    cluster_page_reads,
+    io_savings_over_pm_nlj,
+    nlj_page_reads,
+    pm_nlj_min_page_reads,
+)
+
+
+class TestLemma1:
+    def test_paper_worked_example(self):
+        """Section 6: r=3, c=2, e=5 => 5 + min(3,2) = 7 disk I/Os."""
+        assert pm_nlj_min_page_reads(5, 3, 2) == 7
+
+    def test_single_entry(self):
+        assert pm_nlj_min_page_reads(1, 1, 1) == 2
+
+    def test_rejects_impossible_regions(self):
+        with pytest.raises(ValueError):
+            pm_nlj_min_page_reads(1, 2, 2)  # 1 entry cannot span 2 rows
+        with pytest.raises(ValueError):
+            pm_nlj_min_page_reads(10, 2, 2)  # more entries than grid cells
+        with pytest.raises(ValueError):
+            pm_nlj_min_page_reads(0, 0, 0)
+
+
+class TestNljReads:
+    def test_paper_worked_example(self):
+        """Section 6 / Example 1: full 3x4 region costs 12 + 3 = 15 reads."""
+        assert nlj_page_reads(3, 4) == 15
+
+    def test_equals_pm_nlj_with_all_marked(self):
+        for rows, cols in [(3, 4), (5, 5), (2, 9)]:
+            assert nlj_page_reads(rows, cols) == pm_nlj_min_page_reads(
+                rows * cols, rows, cols
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nlj_page_reads(0, 3)
+
+
+class TestLemma2:
+    def test_cluster_reads(self):
+        assert cluster_page_reads(3, 2, buffer_pages=5) == 5
+
+    def test_rejects_overflowing_cluster(self):
+        with pytest.raises(ValueError):
+            cluster_page_reads(3, 3, buffer_pages=5)
+
+
+class TestTheorem2:
+    def test_paper_example_savings(self):
+        """Example region: 5 entries, 3 rows, 2 cols => saves 5 - 3 = 2."""
+        assert io_savings_over_pm_nlj(5, 3, 2) == 2
+
+    def test_consistency_with_lemmas(self):
+        for e, r, c in [(5, 3, 2), (10, 4, 3), (9, 3, 3)]:
+            expected = pm_nlj_min_page_reads(e, r, c) - (r + c)
+            assert io_savings_over_pm_nlj(e, r, c) == expected
+
+    def test_square_maximises_savings_at_fixed_budget(self):
+        """Observation 1 after Theorem 2: for r + c fixed, r = c is best."""
+        budget = 10
+        e = 16  # achievable by every split below
+        best = max(
+            io_savings_over_pm_nlj(e, r, budget - r)
+            for r in range(4, 7)
+            if e <= r * (budget - r)
+        )
+        assert best == io_savings_over_pm_nlj(e, 5, 5)
+
+    def test_denser_clusters_save_more(self):
+        """Observation 2: savings grow with the number of marked entries."""
+        assert io_savings_over_pm_nlj(9, 3, 3) > io_savings_over_pm_nlj(5, 3, 3)

@@ -1,0 +1,46 @@
+"""Unit tests for the Cluster value type."""
+
+import pytest
+
+from repro.core.clusters import Cluster
+
+
+class TestCluster:
+    def test_rows_cols_derived(self):
+        c = Cluster(0, entries=((1, 5), (1, 6), (3, 5)))
+        assert c.rows == {1, 3}
+        assert c.cols == {5, 6}
+        assert c.num_entries == 3
+        assert c.num_pages == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cluster(0, entries=())
+
+    def test_fits_in_buffer(self):
+        c = Cluster(0, entries=((0, 0), (1, 1)))
+        assert c.fits_in_buffer(4)
+        assert not c.fits_in_buffer(3)
+
+    def test_page_keys_distinct_datasets(self):
+        c = Cluster(0, entries=((1, 1), (2, 3)))
+        keys = c.page_keys("R", "S")
+        assert keys == {("R", 1), ("R", 2), ("S", 1), ("S", 3)}
+
+    def test_page_keys_self_join_dedup(self):
+        c = Cluster(0, entries=((1, 1), (1, 2)))
+        keys = c.page_keys("D", "D")
+        assert keys == {("D", 1), ("D", 2)}
+
+    def test_shared_pages_definition1(self):
+        a = Cluster(0, entries=((1, 5), (2, 6)))
+        b = Cluster(1, entries=((2, 7), (3, 5)))
+        # shared: row page 2 and column page 5.
+        assert a.shared_pages(b, "R", "S") == 2
+        assert b.shared_pages(a, "R", "S") == 2
+
+    def test_spans_and_width(self):
+        c = Cluster(0, entries=((1, 5), (4, 9)))
+        assert c.row_span() == (1, 4)
+        assert c.col_span() == (5, 9)
+        assert c.width() == 5

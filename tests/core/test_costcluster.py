@@ -1,0 +1,124 @@
+"""Unit tests for cost-based clustering (CC)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costcluster import cost_clustering
+from repro.core.prediction import PredictionMatrix
+
+
+def unit_page_cost(rows, cols):
+    """Cost = number of distinct pages (pure transfer counting)."""
+    return float(len(rows) + len(cols))
+
+
+def seeky_page_cost_factory():
+    """Cost with a seek penalty per non-adjacent page run."""
+
+    def cost(rows, cols):
+        total = 0.0
+        for pages in (sorted(rows), sorted(cols)):
+            if not pages:
+                continue
+            runs = 1 + sum(1 for a, b in zip(pages, pages[1:]) if b != a + 1)
+            total += len(pages) * 1.0 + runs * 5.0
+        return total
+
+    return cost
+
+
+def random_matrix(rng, rows=25, cols=25, density=0.12):
+    m = PredictionMatrix(rows, cols)
+    mask = rng.random((rows, cols)) < density
+    for r, c in zip(*np.nonzero(mask)):
+        m.mark(int(r), int(c))
+    if m.num_marked == 0:
+        m.mark(0, 0)
+    return m
+
+
+class TestPartitionProperties:
+    def test_every_entry_in_exactly_one_cluster(self, rng):
+        for _ in range(5):
+            matrix = random_matrix(rng)
+            clusters, _ = cost_clustering(matrix, 8, unit_page_cost)
+            seen = [entry for cluster in clusters for entry in cluster.entries]
+            assert sorted(seen) == sorted(matrix.entries())
+
+    def test_clusters_fit_buffer(self, rng):
+        for buffer_pages in (3, 6, 10):
+            matrix = random_matrix(rng, density=0.25)
+            clusters, _ = cost_clustering(matrix, buffer_pages, unit_page_cost)
+            for cluster in clusters:
+                assert cluster.fits_in_buffer(buffer_pages)
+
+    def test_source_matrix_unmodified(self, rng):
+        matrix = random_matrix(rng)
+        before = matrix.num_marked
+        cost_clustering(matrix, 8, unit_page_cost)
+        assert matrix.num_marked == before
+
+    def test_deterministic_without_rng(self, rng):
+        matrix = random_matrix(rng)
+        a, _ = cost_clustering(matrix, 8, unit_page_cost)
+        b, _ = cost_clustering(matrix, 8, unit_page_cost)
+        assert [c.entries for c in a] == [c.entries for c in b]
+
+    def test_seeded_rng_reproducible(self, rng):
+        matrix = random_matrix(rng)
+        a, _ = cost_clustering(matrix, 8, unit_page_cost, rng=np.random.default_rng(5))
+        b, _ = cost_clustering(matrix, 8, unit_page_cost, rng=np.random.default_rng(5))
+        assert [c.entries for c in a] == [c.entries for c in b]
+
+
+class TestCostAwareness:
+    def test_prefers_adjacent_pages(self):
+        """With a seek penalty, CC grows toward physically adjacent pages."""
+        matrix = PredictionMatrix(30, 30)
+        # A dense run around (10, 10) and a stray entry far away.
+        for k in range(5):
+            matrix.mark(10 + k, 10)
+            matrix.mark(10, 10 + k)
+        matrix.mark(29, 29)
+        clusters, _ = cost_clustering(matrix, 10, seeky_page_cost_factory())
+        main = max(clusters, key=lambda c: c.num_entries)
+        assert (29, 29) not in main.entries
+
+    def test_grows_from_densest_region(self):
+        matrix = PredictionMatrix(40, 40)
+        # Dense block at (0..2, 0..2); sparse singles elsewhere.
+        for r in range(3):
+            for c in range(3):
+                matrix.mark(r, c)
+        matrix.mark(30, 30)
+        clusters, _ = cost_clustering(matrix, 8, unit_page_cost, histogram_bins=8)
+        first = clusters[0]
+        assert all(r <= 2 and c <= 2 for r, c in first.entries)
+
+    def test_stats_populated(self, rng):
+        matrix = random_matrix(rng)
+        _, stats = cost_clustering(matrix, 8, unit_page_cost)
+        assert stats.seeds_drawn >= 1
+        assert stats.cost_evaluations >= 1
+        assert stats.total_operations > 0
+
+
+class TestEdgeCases:
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(ValueError):
+            cost_clustering(PredictionMatrix(2, 2), 1, unit_page_cost)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            cost_clustering(PredictionMatrix(2, 2), 4, unit_page_cost, histogram_bins=0)
+
+    def test_empty_matrix(self):
+        clusters, _ = cost_clustering(PredictionMatrix(5, 5), 4, unit_page_cost)
+        assert clusters == []
+
+    def test_single_entry(self):
+        matrix = PredictionMatrix(5, 5)
+        matrix.mark(2, 4)
+        clusters, _ = cost_clustering(matrix, 4, unit_page_cost)
+        assert len(clusters) == 1
+        assert clusters[0].entries == ((2, 4),)

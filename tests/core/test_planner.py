@@ -1,0 +1,48 @@
+"""Tests for the join planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset, join
+from repro.core.planner import plan_join
+
+
+class TestPlanJoin:
+    def test_fields_populated(self, vector_pair):
+        r, s = vector_pair
+        plan = plan_join(r, s, 0.05, buffer_pages=8)
+        assert plan.recommended in ("nlj", "pm-nlj", "sc")
+        assert set(plan.predicted_reads) == {"nlj", "pm-nlj", "sc"}
+        assert all(v >= 0 for v in plan.predicted_reads.values())
+        assert 0 <= plan.matrix_density <= 1
+        assert "recommend" in plan.describe()
+
+    def test_sc_recommended_under_buffer_pressure(self):
+        from repro.datasets import road_intersections
+
+        r = IndexedDataset.from_points(road_intersections(6000, seed=0), page_capacity=32)
+        s = IndexedDataset.from_points(road_intersections(4000, seed=1), page_capacity=32)
+        plan = plan_join(r, s, 0.01, buffer_pages=8)
+        assert plan.recommended == "sc"
+
+    def test_nlj_recommended_for_dense_matrix(self, rng):
+        # Tiny uniform data with a huge epsilon: everything joins with
+        # everything, the matrix is all-marked, and scanning wins.
+        r = IndexedDataset.from_points(rng.random((100, 2)), page_capacity=8)
+        s = IndexedDataset.from_points(rng.random((100, 2)), page_capacity=8)
+        plan = plan_join(r, s, 2.0, buffer_pages=10)
+        assert plan.matrix_density == 1.0
+        assert plan.recommended == "nlj"
+
+    def test_prediction_tracks_measurement(self, vector_pair):
+        """Predicted SC reads bound the measured reads from above."""
+        r, s = vector_pair
+        plan = plan_join(r, s, 0.05, buffer_pages=8)
+        measured = join(r, s, 0.05, method="sc", buffer_pages=8,
+                        count_only=True).report.page_reads
+        assert measured <= plan.predicted_reads["sc"]
+
+    def test_self_join_planning(self, rng):
+        ds = IndexedDataset.from_points(rng.random((200, 2)), page_capacity=8)
+        plan = plan_join(ds, ds, 0.05, buffer_pages=8)
+        assert plan.marked_entries > 0

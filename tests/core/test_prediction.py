@@ -1,0 +1,109 @@
+"""Unit tests for the sparse prediction matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import PredictionMatrix
+
+
+class TestMarking:
+    def test_mark_and_query(self):
+        m = PredictionMatrix(4, 5)
+        m.mark(1, 2)
+        assert m.is_marked(1, 2)
+        assert not m.is_marked(2, 1)
+        assert m.num_marked == 1
+
+    def test_mark_idempotent(self):
+        m = PredictionMatrix(4, 5)
+        m.mark(1, 2)
+        m.mark(1, 2)
+        assert m.num_marked == 1
+
+    def test_unmark(self):
+        m = PredictionMatrix(4, 5)
+        m.mark(1, 2)
+        m.unmark(1, 2)
+        assert m.num_marked == 0
+        assert not m.is_marked(1, 2)
+        assert m.marked_rows() == []
+        assert m.marked_cols() == []
+
+    def test_unmark_missing_raises(self):
+        m = PredictionMatrix(4, 5)
+        with pytest.raises(KeyError):
+            m.unmark(0, 0)
+
+    def test_bounds_checked(self):
+        m = PredictionMatrix(4, 5)
+        with pytest.raises(IndexError):
+            m.mark(4, 0)
+        with pytest.raises(IndexError):
+            m.is_marked(0, 5)
+
+    def test_rejects_empty_dimensions(self):
+        with pytest.raises(ValueError):
+            PredictionMatrix(0, 5)
+
+
+class TestViews:
+    @pytest.fixture
+    def matrix(self):
+        m = PredictionMatrix(6, 6)
+        for row, col in [(0, 1), (0, 3), (2, 1), (5, 5)]:
+            m.mark(row, col)
+        return m
+
+    def test_rows_and_cols_sorted(self, matrix):
+        assert matrix.marked_rows() == [0, 2, 5]
+        assert matrix.marked_cols() == [1, 3, 5]
+
+    def test_row_cols(self, matrix):
+        assert matrix.row_cols(0) == [1, 3]
+        assert matrix.row_cols(1) == []
+
+    def test_col_rows(self, matrix):
+        assert matrix.col_rows(1) == [0, 2]
+
+    def test_entries_row_major(self, matrix):
+        assert list(matrix.entries()) == [(0, 1), (0, 3), (2, 1), (5, 5)]
+
+    def test_density(self, matrix):
+        assert matrix.density() == pytest.approx(4 / 36)
+
+    def test_to_dense(self, matrix):
+        dense = matrix.to_dense()
+        assert dense.sum() == 4
+        assert dense[0, 1] and dense[5, 5]
+        assert not dense[1, 0]
+
+
+class TestCopyAndTriangle:
+    def test_copy_is_independent(self):
+        m = PredictionMatrix(3, 3)
+        m.mark(0, 0)
+        dup = m.copy()
+        dup.mark(1, 1)
+        assert m.num_marked == 1
+        assert dup.num_marked == 2
+        dup.unmark(0, 0)
+        assert m.is_marked(0, 0)
+
+    def test_equality(self):
+        a = PredictionMatrix(3, 3)
+        b = PredictionMatrix(3, 3)
+        a.mark(0, 1)
+        b.mark(0, 1)
+        assert a == b
+        b.mark(1, 1)
+        assert a != b
+
+    def test_keep_upper_triangle(self):
+        m = PredictionMatrix(4, 4)
+        for row in range(4):
+            for col in range(4):
+                m.mark(row, col)
+        m.keep_upper_triangle()
+        assert m.num_marked == 10  # 4 diagonal + 6 upper
+        for row, col in m.entries():
+            assert row <= col

@@ -1,0 +1,110 @@
+"""Unit tests for the sharing graph and greedy cluster scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import Cluster
+from repro.core.schedule import greedy_cluster_order, schedule_savings, sharing_graph
+
+
+def paper_example2_clusters():
+    """The five clusters of Example 2 (Section 8).
+
+    C1 = {r2, r3 | s3, s5, s6}, C2 = {r2, r3, r4 | s3, s4},
+    C3 = {r5, r6 | s4, s7},     C4 = {r3, r4, r7 | s1, s2},
+    C5 = {r1 | s1}.  (1-indexed in the paper; 0-indexed here.)
+    """
+    def cluster(cid, rows, cols):
+        # One entry per (row, col) pair sufficient to induce the page sets.
+        entries = tuple((r, cols[k % len(cols)]) for k, r in enumerate(rows)) + tuple(
+            (rows[k % len(rows)], c) for k, c in enumerate(cols)
+        )
+        return Cluster(cid, entries)
+
+    c1 = cluster(0, [1, 2], [2, 4, 5])
+    c2 = cluster(1, [1, 2, 3], [2, 3])
+    c3 = cluster(2, [4, 5], [3, 6])
+    c4 = cluster(3, [2, 3, 6], [0, 1])
+    c5 = cluster(4, [0], [0])
+    return [c1, c2, c3, c4, c5]
+
+
+class TestSharingGraph:
+    def test_paper_page_totals(self):
+        clusters = paper_example2_clusters()
+        total = sum(c.num_pages for c in clusters)
+        assert total == 21  # Example 2: sum of |C_i| = 21
+
+    def test_edge_weights_symmetric_definition(self):
+        clusters = paper_example2_clusters()
+        edges = sharing_graph(clusters, "R", "S")
+        # C1 & C2 share pages r2, r3, s3 -> weight 3.
+        assert edges[(0, 1)] == 3
+        # Zero-weight pairs are absent.
+        assert (2, 4) not in edges
+
+    def test_weights_match_shared_pages(self):
+        clusters = paper_example2_clusters()
+        edges = sharing_graph(clusters, "R", "S")
+        for (i, j), weight in edges.items():
+            assert weight == clusters[i].shared_pages(clusters[j], "R", "S")
+
+
+class TestGreedyOrder:
+    def test_visits_every_cluster_once(self):
+        clusters = paper_example2_clusters()
+        ordered = greedy_cluster_order(clusters, "R", "S")
+        assert sorted(c.cluster_id for c in ordered) == [0, 1, 2, 3, 4]
+
+    def test_beats_paper_scenario1(self):
+        """The greedy schedule must save at least as much as Scenario 1
+        (21 -> 19 pages, i.e. savings 2); the paper's good schedule
+        (Scenario 2) saves 6 (21 -> 15)."""
+        clusters = paper_example2_clusters()
+        ordered = greedy_cluster_order(clusters, "R", "S")
+        savings = schedule_savings(ordered, "R", "S")
+        assert savings >= 2
+        # Lemma 4: total reads = 21 - savings; greedy should get near 15.
+        assert 21 - savings <= 17
+
+    def test_empty(self):
+        assert greedy_cluster_order([], "R", "S") == []
+
+    def test_single_cluster(self):
+        only = Cluster(0, ((0, 0),))
+        assert greedy_cluster_order([only], "R", "S") == [only]
+
+    def test_no_shared_pages_keeps_all(self):
+        clusters = [Cluster(k, ((k, k),)) for k in range(4)]
+        ordered = greedy_cluster_order(clusters, "R", "S")
+        assert sorted(c.cluster_id for c in ordered) == [0, 1, 2, 3]
+        assert schedule_savings(ordered, "R", "S") == 0
+
+    def test_deterministic(self, rng):
+        clusters = _random_clusters(rng, 12)
+        a = greedy_cluster_order(clusters, "R", "S")
+        b = greedy_cluster_order(clusters, "R", "S")
+        assert [c.cluster_id for c in a] == [c.cluster_id for c in b]
+
+    def test_savings_at_least_random_order_median(self, rng):
+        """Lemma 3/4 sanity: the greedy path should beat random schedules."""
+        clusters = _random_clusters(rng, 10)
+        greedy = schedule_savings(greedy_cluster_order(clusters, "R", "S"), "R", "S")
+        random_savings = []
+        for _ in range(30):
+            perm = rng.permutation(len(clusters))
+            random_savings.append(
+                schedule_savings([clusters[k] for k in perm], "R", "S")
+            )
+        assert greedy >= np.median(random_savings)
+
+
+def _random_clusters(rng, count):
+    clusters = []
+    for cid in range(count):
+        entries = {
+            (int(rng.integers(0, 15)), int(rng.integers(0, 15)))
+            for _ in range(rng.integers(1, 6))
+        }
+        clusters.append(Cluster(cid, tuple(sorted(entries))))
+    return clusters

@@ -1,0 +1,122 @@
+"""Unit tests for the plane sweep and prediction-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset
+from repro.core.sweep import build_prediction_matrix, sweep_pairs
+from repro.geometry import Rect
+
+
+class TestSweepPairs:
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            left = [(self._rect(rng), f"L{k}") for k in range(12)]
+            right = [(self._rect(rng), f"R{k}") for k in range(10)]
+            swept = set(sweep_pairs(left, right))
+            brute = {
+                (pl, pr)
+                for bl, pl in left
+                for br, pr in right
+                if bl.intersects(br)
+            }
+            assert swept == brute
+
+    def test_touching_boxes_detected(self):
+        left = [(Rect([0, 0], [1, 1]), "a")]
+        right = [(Rect([1, 0], [2, 1]), "b")]
+        assert list(sweep_pairs(left, right)) == [("a", "b")]
+
+    def test_empty_sides(self):
+        assert list(sweep_pairs([], [(Rect([0, 0], [1, 1]), "x")])) == []
+
+    @staticmethod
+    def _rect(rng):
+        lo = rng.uniform(0, 5, size=2)
+        return Rect(lo, lo + rng.uniform(0, 2, size=2))
+
+
+class TestBuildPredictionMatrix:
+    def test_completeness_theorem1_vectors(self, rng):
+        """Theorem 1: every truly-joining object pair's page pair is marked."""
+        pts_r = rng.random((150, 2))
+        pts_s = rng.random((120, 2))
+        r = IndexedDataset.from_points(pts_r, page_capacity=8)
+        s = IndexedDataset.from_points(pts_s, page_capacity=8)
+        epsilon = 0.15
+        matrix, _ = build_prediction_matrix(
+            r.index.root, s.index.root, epsilon, r.num_pages, s.num_pages
+        )
+        vec_r, vec_s = r.paged.vectors, s.paged.vectors
+        for i in range(vec_r.shape[0]):
+            dists = np.linalg.norm(vec_s - vec_r[i], axis=1)
+            for j in np.nonzero(dists <= epsilon)[0]:
+                page_r = r.paged.page_of_object(i)
+                page_s = s.paged.page_of_object(int(j))
+                assert matrix.is_marked(page_r, page_s)
+
+    def test_zero_epsilon_still_complete(self, rng):
+        pts = rng.random((60, 2))
+        r = IndexedDataset.from_points(pts, page_capacity=8)
+        s = IndexedDataset.from_points(pts.copy(), page_capacity=8)
+        matrix, _ = build_prediction_matrix(
+            r.index.root, s.index.root, 0.0, r.num_pages, s.num_pages
+        )
+        for i in range(60):
+            page_r = r.paged.page_of_object(int(np.nonzero(r.index.order == i)[0][0]))
+            # the same point exists in s; its page pair must be marked
+            page_s = s.paged.page_of_object(int(np.nonzero(s.index.order == i)[0][0]))
+            assert matrix.is_marked(page_r, page_s)
+
+    def test_filter_depth_does_not_change_completeness(self, rng):
+        pts_r = rng.random((100, 2))
+        pts_s = rng.random((100, 2))
+        r = IndexedDataset.from_points(pts_r, page_capacity=8)
+        s = IndexedDataset.from_points(pts_s, page_capacity=8)
+        m_nofilter, _ = build_prediction_matrix(
+            r.index.root, s.index.root, 0.1, r.num_pages, s.num_pages, max_filter_rounds=0
+        )
+        m_filtered, _ = build_prediction_matrix(
+            r.index.root, s.index.root, 0.1, r.num_pages, s.num_pages, max_filter_rounds=5
+        )
+        # Filtering prunes *non-candidates* only: identical marks.
+        assert m_nofilter == m_filtered
+
+    def test_stats_populated(self, rng):
+        r = IndexedDataset.from_points(rng.random((100, 2)), page_capacity=8)
+        s = IndexedDataset.from_points(rng.random((100, 2)), page_capacity=8)
+        matrix, stats = build_prediction_matrix(
+            r.index.root, s.index.root, 0.1, r.num_pages, s.num_pages
+        )
+        assert stats.endpoints_processed > 0
+        assert stats.intersection_tests > 0
+        assert stats.leaf_pairs_marked == matrix.num_marked
+        assert stats.total_operations > 0
+
+    def test_rejects_negative_epsilon(self, rng):
+        r = IndexedDataset.from_points(rng.random((20, 2)), page_capacity=8)
+        with pytest.raises(ValueError):
+            build_prediction_matrix(
+                r.index.root, r.index.root, -0.1, r.num_pages, r.num_pages
+            )
+
+    def test_text_completeness(self, dna_dataset):
+        """Theorem 1 chain for strings: ED <= eps => page pair marked."""
+        from repro.distance.edit import edit_distance
+
+        ds = dna_dataset.paged
+        epsilon = 1
+        matrix, _ = build_prediction_matrix(
+            dna_dataset.index.root, dna_dataset.index.root,
+            epsilon, ds.num_pages, ds.num_pages,
+        )
+        text = ds.sequence
+        w = ds.window_length
+        # Sample window pairs; any pair within edit distance 1 must have
+        # its page pair marked.
+        step = 17
+        offsets = range(0, ds.num_windows, step)
+        for p in offsets:
+            for q in offsets:
+                if edit_distance(text[p : p + w], text[q : q + w], max_dist=epsilon) <= epsilon:
+                    assert matrix.is_marked(ds.page_of_offset(p), ds.page_of_offset(q))

@@ -1,0 +1,68 @@
+"""Unit tests for the threshold algorithm helper."""
+
+import pytest
+
+from repro.core.ta import threshold_argmin
+
+
+def make_lists(items_a, items_b):
+    return iter(items_a), iter(items_b)
+
+
+class TestThresholdArgmin:
+    def test_finds_global_minimum(self):
+        # exact cost = lower bound here (identity aggregation).
+        a = [(1.0, "x"), (2.0, "y")]
+        b = [(0.5, "z"), (3.0, "w")]
+        best, cost = threshold_argmin(*make_lists(a, b), exact_cost={"x": 1.0, "y": 2.0, "z": 0.5, "w": 3.0}.__getitem__)
+        assert best == "z"
+        assert cost == 0.5
+
+    def test_empty_lists(self):
+        assert threshold_argmin(iter([]), iter([]), lambda x: 0.0) is None
+
+    def test_one_empty_list(self):
+        best, cost = threshold_argmin(
+            iter([(1.0, "a"), (2.0, "b")]), iter([]), exact_cost=lambda x: 5.0 if x == "a" else 6.0
+        )
+        assert best == "a"
+
+    def test_duplicate_items_evaluated_once(self):
+        calls = []
+
+        def cost(item):
+            calls.append(item)
+            return {"a": 1.0, "b": 2.0}[item]
+
+        a = [(0.0, "a"), (0.5, "b")]
+        b = [(0.0, "a"), (1.0, "b")]
+        threshold_argmin(*make_lists(a, b), exact_cost=cost)
+        assert sorted(set(calls)) == sorted(calls)
+
+    def test_early_stop_skips_tail(self):
+        """Once best <= threshold, remaining items must not be evaluated."""
+        evaluated = []
+
+        def cost(item):
+            evaluated.append(item)
+            return float(item)
+
+        # Lower bounds are valid (bound <= exact).  After seeing item 1
+        # (cost 1.0), the threshold is 10 + 10, no stop; construct so the
+        # cheap item appears early and the bounds then rise sharply.
+        a = [(0.5, 1), (50.0, 100)]
+        b = [(0.5, 2), (60.0, 200)]
+        best, cost_value = threshold_argmin(iter(a), iter(b), cost)
+        assert best == 1
+        assert 100 not in evaluated or 200 not in evaluated
+
+    def test_exhausting_both_lists_returns_true_min(self, rng):
+        for _ in range(20):
+            values = {k: float(v) for k, v in enumerate(rng.integers(0, 100, size=10))}
+            # Zero lower bounds: TA degenerates to full evaluation but must
+            # still return the exact argmin.
+            a = [(0.0, k) for k in range(5)]
+            b = [(0.0, k) for k in range(5, 10)]
+            best, cost = threshold_argmin(iter(a), iter(b), values.__getitem__)
+            assert cost == min(values.values())
+            assert values[best] == cost

@@ -1,0 +1,50 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_io_cost(self):
+        model = CostModel(seek_s=0.01, transfer_s=0.001)
+        assert model.io_cost(transfers=10, seeks=2) == pytest.approx(0.03)
+
+    def test_io_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.io_cost(-1, 0)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.io_cost(0, -1)
+
+    def test_cpu_cost_weighting(self):
+        model = CostModel(cpu_compare_s=1e-6)
+        assert model.cpu_cost(1000, weight=2.0) == pytest.approx(2e-3)
+
+    def test_cpu_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.cpu_cost(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.cpu_cost(1, weight=-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(seek_s=-0.1)
+        with pytest.raises(ValueError):
+            CostModel(transfer_s=0.0)
+        with pytest.raises(ValueError):
+            CostModel(cpu_compare_s=-1e-9)
+
+    def test_for_page_size_scales_transfer_only(self):
+        base = CostModel(seek_s=0.01, transfer_s=0.001)
+        scaled = CostModel.for_page_size(4.0, base=base)
+        assert scaled.transfer_s == pytest.approx(0.004)
+        assert scaled.seek_s == base.seek_s
+        assert scaled.cpu_compare_s == base.cpu_compare_s
+
+    def test_for_page_size_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CostModel.for_page_size(0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.seek_s = 1.0  # type: ignore[misc]

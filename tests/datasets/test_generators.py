@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import landsat_like, markov_dna, random_walks, road_intersections
+from repro.datasets.genome import repeat_library
+from repro.datasets.timeseries import concatenated_walks
+
+
+class TestRoadIntersections:
+    def test_shape_and_range(self):
+        pts = road_intersections(5000, seed=1)
+        assert pts.shape == (5000, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(road_intersections(500, seed=3), road_intersections(500, seed=3))
+
+    def test_seed_changes_data(self):
+        assert not np.array_equal(road_intersections(500, seed=3), road_intersections(500, seed=4))
+
+    def test_clustered_not_uniform(self):
+        """Urban cores make the point density strongly non-uniform."""
+        pts = road_intersections(20000, seed=0)
+        counts, _, _ = np.histogram2d(pts[:, 0], pts[:, 1], bins=10)
+        # A uniform sample of 20k over 100 cells has std ~ sqrt(200) ≈ 14;
+        # the clustered generator is far above that.
+        assert counts.std() > 3 * np.sqrt(counts.mean())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            road_intersections(0)
+
+
+class TestLandsatLike:
+    def test_shape_and_range(self):
+        data = landsat_like(1000, seed=2)
+        assert data.shape == (1000, 60)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(landsat_like(300, seed=5), landsat_like(300, seed=5))
+
+    def test_patch_neighbours_are_close(self):
+        """patch_size > 1 must create near-duplicate vectors."""
+        data = landsat_like(3000, seed=0, patch_size=3)
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(data)
+        nn_dist, _ = tree.query(data, k=2)
+        close = (nn_dist[:, 1] < 0.05).mean()
+        assert close > 0.3
+
+    def test_low_intrinsic_dimensionality(self):
+        data = landsat_like(2000, seed=1, latent_dim=4)
+        centered = data - data.mean(axis=0)
+        singular = np.linalg.svd(centered, compute_uv=False)
+        energy = np.cumsum(singular**2) / np.sum(singular**2)
+        assert energy[5] > 0.9  # a handful of directions dominate
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            landsat_like(0)
+        with pytest.raises(ValueError):
+            landsat_like(10, latent_dim=100)
+        with pytest.raises(ValueError):
+            landsat_like(10, patch_size=0)
+
+
+class TestMarkovDna:
+    def test_alphabet_and_length(self):
+        dna = markov_dna(5000, seed=1)
+        assert len(dna) == 5000
+        assert set(dna) <= set("ACGT")
+
+    def test_deterministic(self):
+        assert markov_dna(2000, seed=7) == markov_dna(2000, seed=7)
+
+    def test_gc_content_tracked(self):
+        dna = markov_dna(50000, seed=0, gc_content=0.6, isochores=False, repeat_share=0.0)
+        gc = (dna.count("G") + dna.count("C")) / len(dna)
+        assert gc == pytest.approx(0.6, abs=0.03)
+
+    def test_isochores_vary_local_composition(self):
+        dna = markov_dna(60000, seed=0, repeat_share=0.0, isochores=True)
+        block = 6000
+        gcs = [
+            (dna[k : k + block].count("G") + dna[k : k + block].count("C")) / block
+            for k in range(0, len(dna), block)
+        ]
+        assert max(gcs) - min(gcs) > 0.1
+
+    def test_repeats_create_similar_windows(self):
+        dna = markov_dna(30000, seed=0, repeat_share=0.3)
+        no_repeats = markov_dna(30000, seed=0, repeat_share=0.0)
+        # Count exact duplicate 48-mers as a cheap proxy for self-similarity.
+        def dup_fraction(s):
+            seen = set()
+            dups = 0
+            for k in range(0, len(s) - 48, 16):
+                window = s[k : k + 48]
+                if window in seen:
+                    dups += 1
+                seen.add(window)
+            return dups
+        assert dup_fraction(dna) > dup_fraction(no_repeats)
+
+    def test_shared_repeat_library_links_genomes(self):
+        library = repeat_library(seed=3)
+        a = markov_dna(20000, seed=1, repeats=library, repeat_share=0.3)
+        b = markov_dna(20000, seed=2, repeats=library, repeat_share=0.3)
+        proto = library[0][:40]
+        # Both genomes should contain near-copies of the shared prototypes.
+        assert proto in a or proto in b
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            markov_dna(0)
+        with pytest.raises(ValueError):
+            markov_dna(10, gc_content=1.5)
+        with pytest.raises(ValueError):
+            markov_dna(10, repeat_share=1.0)
+
+
+class TestRandomWalks:
+    def test_shape_and_normalisation(self):
+        walks = random_walks(10, 500, seed=0)
+        assert walks.shape == (10, 500)
+        assert np.allclose(walks.mean(axis=1), 0.0, atol=1e-9)
+        assert np.allclose(walks.std(axis=1), 1.0, atol=1e-9)
+
+    def test_market_coupling_correlates_series(self):
+        coupled = random_walks(20, 400, seed=1, market_coupling=0.9)
+        loose = random_walks(20, 400, seed=1, market_coupling=0.0)
+        corr_coupled = np.corrcoef(coupled).mean()
+        corr_loose = np.corrcoef(loose).mean()
+        assert corr_coupled > corr_loose
+
+    def test_concatenated(self):
+        seq = concatenated_walks(4, 100, seed=0)
+        assert seq.shape == (400,)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_walks(0, 10)
+        with pytest.raises(ValueError):
+            random_walks(1, 10, market_coupling=2.0)

@@ -1,0 +1,61 @@
+"""Tests for the sampling estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset, join
+from repro.experiments.estimate import (
+    estimate_join_selectivity,
+    estimate_matrix_density,
+)
+
+
+class TestMatrixDensityEstimate:
+    def test_tracks_true_density(self, vector_pair):
+        r, s = vector_pair
+        result = join(r, s, 0.05, method="pm-nlj", buffer_pages=8, count_only=True)
+        true_density = result.report.extra["matrix_density"]
+        estimate = estimate_matrix_density(r, s, 0.05, samples=3000, seed=1)
+        assert abs(estimate.proportion - true_density) < 5 * estimate.standard_error + 0.02
+
+    def test_zero_epsilon_far_apart(self, rng):
+        r = IndexedDataset.from_points(rng.random((50, 2)), page_capacity=8)
+        s = IndexedDataset.from_points(rng.random((50, 2)) + 10.0, page_capacity=8)
+        estimate = estimate_matrix_density(r, s, 0.1, samples=200)
+        assert estimate.proportion == 0.0
+
+    def test_validation(self, vector_pair):
+        r, s = vector_pair
+        with pytest.raises(ValueError):
+            estimate_matrix_density(r, s, 0.1, samples=0)
+
+
+class TestSelectivityEstimate:
+    def test_tracks_true_selectivity_vectors(self, rng):
+        pts_r = rng.random((150, 2))
+        pts_s = rng.random((120, 2))
+        r = IndexedDataset.from_points(pts_r, page_capacity=8)
+        s = IndexedDataset.from_points(pts_s, page_capacity=8)
+        epsilon = 0.2
+        true_pairs = join(r, s, epsilon, method="sc", buffer_pages=8,
+                          count_only=True).num_pairs
+        true_selectivity = true_pairs / (150 * 120)
+        estimate = estimate_join_selectivity(r, s, epsilon, samples=4000, seed=2)
+        assert abs(estimate.proportion - true_selectivity) < (
+            5 * estimate.standard_error + 0.01
+        )
+        projected = estimate.scaled(150 * 120)
+        assert projected == pytest.approx(estimate.proportion * 18000)
+
+    def test_text_estimation_runs(self, dna_dataset):
+        estimate = estimate_join_selectivity(
+            dna_dataset, dna_dataset, 1, samples=300, seed=3
+        )
+        assert 0.0 <= estimate.proportion <= 1.0
+        assert "samples" in str(estimate)
+
+    def test_series_estimation_runs(self, rng):
+        seq = rng.normal(size=300).cumsum()
+        ds = IndexedDataset.from_time_series(seq, window_length=8, windows_per_page=16)
+        estimate = estimate_join_selectivity(ds, ds, 0.5, samples=300)
+        assert estimate.samples == 300

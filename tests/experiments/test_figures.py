@@ -1,0 +1,76 @@
+"""Smoke tests for the figure runners at tiny scales.
+
+These verify the runners execute end to end and return well-formed
+results; the paper-shape assertions at meaningful scales live in the
+benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    CostBreakdownResult,
+    SeriesResult,
+    buffers_from_fractions,
+    figure10,
+    figure11,
+    lbeach_mcounty,
+    landsat_pair,
+    hchr18,
+    mchr18,
+)
+
+TINY_SPATIAL = 0.02
+TINY_GENOME = 0.001
+TINY_LANDSAT = 0.01
+
+
+class TestDatasetBuilders:
+    def test_lbeach_mcounty_cached(self):
+        a = lbeach_mcounty(TINY_SPATIAL)
+        b = lbeach_mcounty(TINY_SPATIAL)
+        assert a[0] is b[0]
+
+    def test_landsat_pair_disjoint_sizes(self):
+        r, s = landsat_pair(TINY_LANDSAT, fraction=0.125)
+        assert r.num_objects == s.num_objects
+        assert r.paged.dataset_id != s.paged.dataset_id
+
+    def test_genomes(self):
+        g = hchr18(TINY_GENOME)
+        m = mchr18(TINY_GENOME)
+        assert g.kind == m.kind == "text"
+        assert g.num_pages >= 32
+
+    def test_buffers_from_fractions(self):
+        assert buffers_from_fractions(100, [0.1, 0.5]) == [10, 50]
+        assert buffers_from_fractions(10, [0.01]) == [4]  # floor applies
+
+
+class TestFigureRunners:
+    def test_figure10_structure(self):
+        result = figure10(scale=TINY_SPATIAL, buffer_pages=8)
+        assert isinstance(result, CostBreakdownResult)
+        assert set(result.runs) == {"nlj", "pm-nlj", "rand-sc", "sc"}
+        text = result.to_text()
+        assert "paper" in text and "sc" in text
+        assert result.total("sc") > 0
+
+    def test_figure11_structure(self):
+        result = figure11(scale=TINY_GENOME, buffer_pages=8)
+        assert isinstance(result, CostBreakdownResult)
+        assert result.io("sc") > 0
+
+    def test_figure12_structure(self):
+        from repro.experiments.figures import figure12
+
+        result = figure12(scale=TINY_GENOME, buffer_sizes=[8, 16])
+        assert isinstance(result, SeriesResult)
+        assert result.xs == [8, 16]
+        assert set(result.series) == {"nlj", "pm-nlj", "rand-sc", "sc"}
+        assert all(v is not None for series in result.series.values() for v in series)
+
+    def test_series_result_at(self):
+        from repro.experiments.figures import figure12
+
+        result = figure12(scale=TINY_GENOME, buffer_sizes=[8, 16])
+        assert result.at("sc", 8) == result.series["sc"][0]

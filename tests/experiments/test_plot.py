@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [1, 10, 100],
+            {"a": [1.0, 10.0, 100.0], "b": [100.0, 10.0, 1.0]},
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+        assert "o" in chart and "x" in chart
+
+    def test_monotone_series_marks_corners(self):
+        chart = ascii_chart([1, 100], {"a": [1.0, 1000.0]}, width=20, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        # Lowest value bottom-left, highest top-right.
+        assert rows[0].rstrip().endswith("o|")
+        assert "o" in rows[-1].split("|")[1][:3]
+
+    def test_none_values_skipped(self):
+        chart = ascii_chart([1, 10, 100], {"a": [None, 5.0, 50.0]})
+        grid = "".join(line for line in chart.splitlines() if "|" in line)
+        assert grid.count("o") == 2
+
+    def test_linear_scales(self):
+        chart = ascii_chart(
+            [0, 5, 10], {"a": [0.0, 5.0, 10.0]}, log_x=False, log_y=False
+        )
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [None, None]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0, 2.0]}, width=4)

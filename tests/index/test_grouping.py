@@ -1,0 +1,59 @@
+"""Unit tests for the contiguous hierarchy builder."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index._grouping import build_contiguous_hierarchy
+
+
+def boxes(n):
+    return [Rect([k, 0], [k + 1, 1]) for k in range(n)]
+
+
+class TestBuildContiguousHierarchy:
+    def test_single_leaf_is_root(self):
+        root = build_contiguous_hierarchy(boxes(1), fanout=4)
+        assert root.is_leaf
+        assert root.page_no == 0
+
+    def test_leaves_in_page_order(self):
+        root = build_contiguous_hierarchy(boxes(20), fanout=4)
+        leaves = list(root.iter_leaves())
+        assert [leaf.page_no for leaf in leaves] == list(range(20))
+
+    def test_parent_boxes_cover_children(self):
+        root = build_contiguous_hierarchy(boxes(37), fanout=5)
+        root.validate()
+
+    def test_fanout_respected(self):
+        root = build_contiguous_hierarchy(boxes(64), fanout=4)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert len(node.children) <= 4
+            stack.extend(node.children)
+
+    @pytest.mark.parametrize("n,fanout,height", [(16, 4, 2), (17, 4, 3), (4, 2, 2)])
+    def test_height(self, n, fanout, height):
+        root = build_contiguous_hierarchy(boxes(n), fanout=fanout)
+        assert root.height() == height
+
+    def test_bfs_ids_assigned(self):
+        root = build_contiguous_hierarchy(boxes(10), fanout=3)
+        assert root.node_id == 0
+        ids = sorted(node.node_id for node in _all_nodes(root))
+        assert ids == list(range(root.count_nodes()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_contiguous_hierarchy([], fanout=4)
+        with pytest.raises(ValueError):
+            build_contiguous_hierarchy(boxes(4), fanout=1)
+
+
+def _all_nodes(root):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)

@@ -1,0 +1,65 @@
+"""Unit tests for the index-node hierarchy."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.index.node import IndexNode, assign_bfs_ids
+
+
+def make_tree():
+    leaves = [
+        IndexNode(box=Rect([k, 0], [k + 1, 1]), page_no=k, level=0) for k in range(4)
+    ]
+    left = IndexNode(box=Rect([0, 0], [2, 1]), children=leaves[:2], level=1)
+    right = IndexNode(box=Rect([2, 0], [4, 1]), children=leaves[2:], level=1)
+    root = IndexNode(box=Rect([0, 0], [4, 1]), children=[left, right], level=2)
+    return root, leaves
+
+
+class TestIndexNode:
+    def test_iter_leaves_in_order(self):
+        root, leaves = make_tree()
+        assert list(root.iter_leaves()) == leaves
+
+    def test_counts(self):
+        root, _ = make_tree()
+        assert root.count_nodes() == 7
+        assert root.height() == 2
+
+    def test_is_leaf(self):
+        root, leaves = make_tree()
+        assert not root.is_leaf
+        assert leaves[0].is_leaf
+
+    def test_validate_accepts_good_tree(self):
+        root, _ = make_tree()
+        root.validate()
+
+    def test_validate_rejects_escaping_child(self):
+        root, _ = make_tree()
+        root.children[0].box = Rect([0, 0], [0.5, 0.5])
+        with pytest.raises(AssertionError):
+            root.validate()
+
+    def test_validate_rejects_leaf_without_page(self):
+        leaf = IndexNode(box=Rect([0, 0], [1, 1]), level=0)
+        with pytest.raises(AssertionError):
+            leaf.validate()
+
+
+class TestBfsIds:
+    def test_numbering_is_breadth_first(self):
+        root, leaves = make_tree()
+        count = assign_bfs_ids(root)
+        assert count == 7
+        assert root.node_id == 0
+        assert [child.node_id for child in root.children] == [1, 2]
+        assert [leaf.node_id for leaf in leaves] == [3, 4, 5, 6]
+
+    def test_leaf_bfs_order_matches_page_order(self):
+        root, leaves = make_tree()
+        assign_bfs_ids(root)
+        ids = [leaf.node_id for leaf in leaves]
+        pages = [leaf.page_no for leaf in leaves]
+        assert ids == sorted(ids)
+        assert pages == sorted(pages)

@@ -1,0 +1,128 @@
+"""Unit tests for the R*-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.index.rstar import RStarTree, build_spatial_page_index
+
+
+def collect_ids(tree):
+    return sorted(
+        entry.data_index for leaf in tree.leaf_nodes() for entry in leaf.items
+    )
+
+
+class TestInsertion:
+    def test_all_entries_present_after_splits(self, rng):
+        tree = RStarTree(max_entries=4)
+        pts = rng.random((200, 2))
+        for k in range(200):
+            tree.insert_point(pts[k], k)
+        assert len(tree) == 200
+        assert collect_ids(tree) == list(range(200))
+
+    def test_invariants_hold(self, rng):
+        tree = RStarTree(max_entries=5)
+        pts = rng.random((150, 3))
+        for k in range(150):
+            tree.insert_point(pts[k], k)
+        tree.validate()
+
+    def test_boxes_cover_points(self, rng):
+        tree = RStarTree(max_entries=4)
+        pts = rng.random((80, 2))
+        for k in range(80):
+            tree.insert_point(pts[k], k)
+        for leaf in tree.leaf_nodes():
+            for entry in leaf.items:
+                assert leaf.box.contains_rect(entry.rect)
+
+    def test_height_grows_logarithmically(self, rng):
+        tree = RStarTree(max_entries=4)
+        for k in range(300):
+            tree.insert_point(rng.random(2), k)
+        assert 3 <= tree.height <= 8
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=3)
+
+    def test_rejects_bad_min_fill(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=8, min_fill=0.9)
+
+    def test_rect_entries(self):
+        tree = RStarTree(max_entries=4)
+        for k in range(10):
+            tree.insert_rect(Rect([k, k], [k + 2, k + 2]), k)
+        assert collect_ids(tree) == list(range(10))
+
+
+class TestBulkLoad:
+    def test_all_entries_present(self, rng):
+        pts = rng.random((500, 2))
+        tree = RStarTree.bulk_load_points(pts, max_entries=16)
+        assert len(tree) == 500
+        assert collect_ids(tree) == list(range(500))
+
+    def test_leaves_nearly_full(self, rng):
+        pts = rng.random((512, 2))
+        tree = RStarTree.bulk_load_points(pts, max_entries=16)
+        sizes = [len(leaf.items) for leaf in tree.leaf_nodes()]
+        assert max(sizes) <= 16
+        assert sum(sizes) == 512
+        # STR packs tightly: the average leaf is close to capacity.
+        assert sum(sizes) / len(sizes) >= 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RStarTree.bulk_load_points(np.empty((0, 2)))
+
+    def test_high_dimensional(self, rng):
+        pts = rng.random((300, 20))
+        tree = RStarTree.bulk_load_points(pts, max_entries=32)
+        assert collect_ids(tree) == list(range(300))
+
+
+class TestPageIndexExtraction:
+    @pytest.mark.parametrize("method", ["str", "rstar"])
+    def test_order_is_permutation(self, rng, method):
+        pts = rng.random((120, 2))
+        page_index, reordered = build_spatial_page_index(pts, 16, method=method)
+        assert sorted(page_index.order.tolist()) == list(range(120))
+        assert np.array_equal(reordered, pts[page_index.order])
+
+    @pytest.mark.parametrize("method", ["str", "rstar"])
+    def test_leaf_boxes_cover_their_pages(self, rng, method):
+        pts = rng.random((120, 2))
+        page_index, reordered = build_spatial_page_index(pts, 16, method=method)
+        offsets = page_index.page_offsets
+        assert offsets is not None
+        for page_no, box in enumerate(page_index.leaf_boxes):
+            chunk = reordered[offsets[page_no] : offsets[page_no + 1]]
+            assert chunk.shape[0] >= 1
+            assert np.all(chunk >= box.lo - 1e-12)
+            assert np.all(chunk <= box.hi + 1e-12)
+
+    def test_hierarchy_structurally_valid(self, rng):
+        pts = rng.random((200, 2))
+        page_index, _ = build_spatial_page_index(pts, 16)
+        page_index.root.validate()
+        leaves = list(page_index.root.iter_leaves())
+        assert [leaf.page_no for leaf in leaves] == list(range(len(leaves)))
+
+    def test_bfs_ids_assigned(self, rng):
+        pts = rng.random((200, 2))
+        page_index, _ = build_spatial_page_index(pts, 16)
+        ids = []
+        stack = [page_index.root]
+        while stack:
+            node = stack.pop()
+            ids.append(node.node_id)
+            stack.extend(node.children)
+        assert sorted(ids) == list(range(page_index.num_index_nodes))
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_spatial_page_index(rng.random((10, 2)), 4, method="bogus")

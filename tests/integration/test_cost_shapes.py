@@ -1,0 +1,118 @@
+"""Integration: the paper's qualitative cost claims hold on small instances.
+
+These tests pin the *shape* results — which method wins, and in which
+regime — at sizes small enough for CI.  The full-scale versions live in
+the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset, join
+from repro.costmodel import CostModel
+from repro.datasets import markov_dna, road_intersections
+
+
+@pytest.fixture(scope="module")
+def spatial_pair():
+    r = IndexedDataset.from_points(road_intersections(8000, seed=0), page_capacity=64)
+    s = IndexedDataset.from_points(road_intersections(6000, seed=1), page_capacity=64)
+    return r, s
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return IndexedDataset.from_string(
+        markov_dna(8000, seed=0, repeat_share=0.1),
+        window_length=192,
+        windows_per_page=64,
+    )
+
+
+MODEL = CostModel(seek_s=0.003, transfer_s=0.001)
+
+
+def total(ds_pair, method, buffer_pages, epsilon=0.01, model=MODEL):
+    r, s = ds_pair
+    return join(
+        r, s, epsilon, method=method, buffer_pages=buffer_pages,
+        cost_model=model, count_only=True,
+    ).report
+
+
+class TestOptimisationLadder:
+    """Figure 10/11's story: each optimisation improves on the previous."""
+
+    def test_prediction_cuts_cpu(self, spatial_pair):
+        nlj = total(spatial_pair, "nlj", 8)
+        pm = total(spatial_pair, "pm-nlj", 8)
+        assert pm.cpu_seconds < nlj.cpu_seconds / 3
+
+    def test_clustering_cuts_io_over_pm_nlj(self, spatial_pair):
+        pm = total(spatial_pair, "pm-nlj", 8)
+        rand_sc = total(spatial_pair, "rand-sc", 8)
+        assert rand_sc.io_seconds < pm.io_seconds
+
+    def test_scheduling_cuts_io_over_random_order(self, spatial_pair):
+        rand_sc = total(spatial_pair, "rand-sc", 8)
+        sc = total(spatial_pair, "sc", 8)
+        assert sc.io_seconds < rand_sc.io_seconds
+
+    def test_sc_total_beats_nlj_total(self, spatial_pair):
+        nlj = total(spatial_pair, "nlj", 8)
+        sc = total(spatial_pair, "sc", 8)
+        assert sc.total_seconds < nlj.total_seconds / 3
+
+    def test_same_ladder_on_sequence_data(self, genome):
+        pair = (genome, genome)
+        model = CostModel.for_page_size(4.0)
+        nlj = total(pair, "nlj", 8, epsilon=1, model=model)
+        pm = total(pair, "pm-nlj", 8, epsilon=1, model=model)
+        rand_sc = total(pair, "rand-sc", 8, epsilon=1, model=model)
+        sc = total(pair, "sc", 8, epsilon=1, model=model)
+        assert pm.cpu_seconds < nlj.cpu_seconds
+        assert rand_sc.io_seconds < pm.io_seconds
+        assert sc.io_seconds <= rand_sc.io_seconds
+        assert sc.total_seconds < nlj.total_seconds
+
+
+class TestTable2Shape:
+    def test_cc_io_close_to_sc(self, spatial_pair):
+        """Table 2: CC is the lower bound and SC stays close (within 2x)."""
+        sc = total(spatial_pair, "sc", 10)
+        cc = total(spatial_pair, "cc", 10)
+        assert cc.io_seconds <= sc.io_seconds * 1.25
+        assert sc.io_seconds <= cc.io_seconds * 2.0
+
+    def test_io_decreases_with_buffer(self, spatial_pair):
+        previous = None
+        for buffer_pages in (6, 12, 24, 48):
+            current = total(spatial_pair, "sc", buffer_pages).io_seconds
+            if previous is not None:
+                assert current <= previous * 1.05
+            previous = current
+
+
+class TestFigure12Knee:
+    def test_pm_nlj_converges_to_sc_at_large_buffers(self, genome):
+        """Beyond the knee (dataset fits in buffer) pm-NLJ ≈ SC I/O."""
+        model = CostModel.for_page_size(4.0)
+        pair = (genome, genome)
+        big = genome.num_pages + 2
+        pm = total(pair, "pm-nlj", big, epsilon=1, model=model)
+        sc = total(pair, "sc", big, epsilon=1, model=model)
+        assert pm.io_seconds <= sc.io_seconds * 1.3
+        # And at a small buffer they are far apart.
+        pm_small = total(pair, "pm-nlj", 8, epsilon=1, model=model)
+        sc_small = total(pair, "sc", 8, epsilon=1, model=model)
+        assert pm_small.io_seconds > sc_small.io_seconds * 1.5
+
+
+class TestSequenceCompetitors:
+    def test_ego_degrades_on_sequence_data(self, genome):
+        """Figure 13(c): EGO pays random seeks it cannot avoid."""
+        model = CostModel.for_page_size(4.0)
+        pair = (genome, genome)
+        ego = total(pair, "ego", 10, epsilon=1, model=model)
+        sc = total(pair, "sc", 10, epsilon=1, model=model)
+        assert sc.total_seconds < ego.total_seconds

@@ -1,0 +1,103 @@
+"""Integration: every join method answers every query identically.
+
+This is the load-bearing correctness property of the whole system — the
+methods differ *only* in I/O schedule, never in the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.join import JOIN_METHODS, IndexedDataset, join
+
+
+def run_all_methods(r, s, epsilon, buffer_pages):
+    results = {}
+    for method in JOIN_METHODS:
+        results[method] = sorted(
+            join(r, s, epsilon, method=method, buffer_pages=buffer_pages).pairs
+        )
+    return results
+
+
+class TestVectorEquivalence:
+    @pytest.mark.parametrize("epsilon", [0.02, 0.08])
+    @pytest.mark.parametrize("buffer_pages", [6, 20])
+    def test_cross_join(self, rng, epsilon, buffer_pages):
+        r = IndexedDataset.from_points(rng.random((250, 2)), page_capacity=16)
+        s = IndexedDataset.from_points(rng.random((180, 2)), page_capacity=16)
+        results = run_all_methods(r, s, epsilon, buffer_pages)
+        reference = results["nlj"]
+        for method, pairs in results.items():
+            assert pairs == reference, f"{method} disagrees with nlj"
+
+    def test_high_dimensional(self, rng):
+        from repro.datasets import landsat_like
+
+        pool = landsat_like(700, seed=1)
+        r = IndexedDataset.from_points(pool[:400], page_capacity=16)
+        s = IndexedDataset.from_points(pool[400:], page_capacity=16)
+        results = run_all_methods(r, s, 0.03, 12)
+        reference = results["nlj"]
+        assert reference, "calibration: the high-d join should find pairs"
+        for method, pairs in results.items():
+            assert pairs == reference, f"{method} disagrees with nlj"
+
+    def test_self_join(self, rng):
+        ds = IndexedDataset.from_points(rng.random((200, 2)), page_capacity=16)
+        results = {
+            m: sorted(join(ds, ds, 0.05, method=m, buffer_pages=10).pairs)
+            for m in JOIN_METHODS
+        }
+        reference = results["nlj"]
+        for method, pairs in results.items():
+            assert pairs == reference, f"{method} disagrees with nlj"
+
+
+SEQUENCE_METHODS = [m for m in JOIN_METHODS if m not in ("ekdb", "zorder")]  # point-only methods
+
+
+class TestTextEquivalence:
+    @pytest.mark.parametrize("epsilon", [0, 1, 2])
+    def test_self_join(self, dna_dataset, epsilon):
+        results = {
+            m: sorted(join(dna_dataset, dna_dataset, epsilon, method=m, buffer_pages=10).pairs)
+            for m in SEQUENCE_METHODS
+        }
+        reference = results["nlj"]
+        for method, pairs in results.items():
+            assert pairs == reference, f"{method} disagrees with nlj at eps={epsilon}"
+
+    def test_cross_join(self):
+        from repro.datasets import markov_dna
+        from repro.datasets.genome import repeat_library
+
+        library = repeat_library(seed=0)
+        a = IndexedDataset.from_string(
+            markov_dna(1200, seed=1, repeats=library, repeat_share=0.3),
+            window_length=10, windows_per_page=32,
+        )
+        b = IndexedDataset.from_string(
+            markov_dna(900, seed=2, repeats=library, repeat_share=0.3),
+            window_length=10, windows_per_page=32,
+        )
+        results = {
+            m: sorted(join(a, b, 1, method=m, buffer_pages=10).pairs)
+            for m in SEQUENCE_METHODS
+        }
+        reference = results["nlj"]
+        assert reference, "shared repeats should produce cross matches"
+        for method, pairs in results.items():
+            assert pairs == reference, f"{method} disagrees with nlj"
+
+
+class TestSeriesEquivalence:
+    def test_self_join(self, rng):
+        seq = rng.normal(size=600).cumsum()
+        ds = IndexedDataset.from_time_series(seq, window_length=12, windows_per_page=24)
+        results = {
+            m: sorted(join(ds, ds, 0.3, method=m, buffer_pages=10).pairs)
+            for m in SEQUENCE_METHODS
+        }
+        reference = results["nlj"]
+        for method, pairs in results.items():
+            assert pairs == reference, f"{method} disagrees with nlj"

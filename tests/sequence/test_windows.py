@@ -1,0 +1,40 @@
+"""Unit tests for window arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.sequence.windows import window_at, window_count
+
+
+class TestWindowCount:
+    def test_text(self):
+        assert window_count("ABCDE", 3) == 3
+
+    def test_numeric(self):
+        assert window_count(np.arange(10), 4) == 7
+
+    def test_too_short(self):
+        assert window_count("AB", 5) == 0
+
+    def test_exact_fit(self):
+        assert window_count("ABC", 3) == 1
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            window_count("ABC", 0)
+
+
+class TestWindowAt:
+    def test_text(self):
+        assert window_at("ABCDE", 1, 3) == "BCD"
+
+    def test_numeric_view(self):
+        seq = np.arange(10.0)
+        window = window_at(seq, 2, 4)
+        assert np.array_equal(window, [2, 3, 4, 5])
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            window_at("ABCDE", 3, 3)
+        with pytest.raises(IndexError):
+            window_at("ABCDE", -1, 3)

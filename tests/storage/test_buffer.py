@@ -1,0 +1,128 @@
+"""Unit tests for the LRU buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.page import VectorPagedDataset
+
+
+@pytest.fixture
+def dataset():
+    return VectorPagedDataset(
+        np.arange(40, dtype=float).reshape(20, 2), objects_per_page=2, dataset_id="d"
+    )
+
+
+@pytest.fixture
+def pool(disk, dataset):
+    pool = BufferPool(disk, capacity=4)
+    pool.attach(dataset)
+    return pool
+
+
+class TestFetch:
+    def test_miss_then_hit(self, pool, disk):
+        pool.fetch("d", 0)
+        assert disk.stats.transfers == 1
+        pool.fetch("d", 0)
+        assert disk.stats.transfers == 1
+        assert disk.stats.buffer_hits == 1
+
+    def test_payload_correct(self, pool, dataset):
+        payload = pool.fetch("d", 3)
+        assert np.array_equal(payload, dataset.page_objects(3))
+
+    def test_lru_eviction_order(self, pool, disk):
+        for page in range(4):
+            pool.fetch("d", page)
+        pool.fetch("d", 0)  # refresh 0; 1 is now LRU
+        pool.fetch("d", 9)  # evicts 1
+        assert pool.contains("d", 0)
+        assert not pool.contains("d", 1)
+        assert pool.contains("d", 9)
+
+    def test_unattached_dataset_rejected(self, pool):
+        with pytest.raises(KeyError):
+            pool.fetch("unknown", 0)
+
+    def test_capacity_must_be_positive(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=0)
+
+
+class TestAttach:
+    def test_places_on_disk(self, disk, dataset):
+        pool = BufferPool(disk, capacity=4)
+        pool.attach(dataset)
+        assert disk.is_placed("d")
+
+    def test_idempotent(self, pool, dataset):
+        pool.attach(dataset)  # same object: fine
+
+    def test_conflicting_id_rejected(self, pool):
+        other = VectorPagedDataset(np.zeros((4, 2)), objects_per_page=2, dataset_id="d")
+        with pytest.raises(ValueError):
+            pool.attach(other)
+
+
+class TestLoadBatch:
+    def test_reads_sorted_and_skips_resident(self, pool, disk):
+        pool.fetch("d", 2)
+        before = disk.stats.snapshot()
+        missing = pool.load_batch([("d", 3), ("d", 1), ("d", 2)])
+        delta = disk.stats.since(before)
+        assert set(missing) == {("d", 1), ("d", 3)}
+        assert delta.transfers == 2
+        assert delta.buffer_hits == 1
+
+    def test_consecutive_pages_one_seek(self, pool, disk):
+        before = disk.stats.snapshot()
+        pool.load_batch([("d", 5), ("d", 6), ("d", 7)])
+        delta = disk.stats.since(before)
+        assert delta.seeks == 1
+
+    def test_rejects_oversized_batch(self, pool):
+        with pytest.raises(ValueError):
+            pool.load_batch([("d", k) for k in range(5)])
+
+    def test_duplicates_collapse(self, pool, disk):
+        pool.load_batch([("d", 1), ("d", 1), ("d", 1)])
+        assert disk.stats.transfers == 1
+
+
+class TestReservation:
+    def test_reserve_shrinks_available(self, pool):
+        assert pool.available == 4
+        pool.reserve(2)
+        assert pool.available == 2
+
+    def test_reserve_evicts_down(self, pool):
+        for page in range(4):
+            pool.fetch("d", page)
+        pool.reserve(3)
+        assert len(pool.resident_pages()) == 1
+        # LRU pages went first: only the most recent remains.
+        assert pool.resident_pages() == [("d", 3)]
+
+    def test_reserve_whole_buffer_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.reserve(4)
+
+    def test_negative_reserve_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.reserve(-1)
+
+    def test_release_restores(self, pool):
+        pool.reserve(2)
+        pool.reserve(0)
+        assert pool.available == 4
+
+
+class TestClear:
+    def test_clear_drops_frames(self, pool, disk):
+        pool.fetch("d", 0)
+        pool.clear()
+        assert not pool.contains("d", 0)
+        pool.fetch("d", 0)
+        assert disk.stats.transfers == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the non-default buffer replacement policies."""
+
+import numpy as np
+import pytest
+
+from repro.storage.buffer import REPLACEMENT_POLICIES, BufferPool
+from repro.storage.page import VectorPagedDataset
+
+
+@pytest.fixture
+def dataset():
+    return VectorPagedDataset(
+        np.arange(40, dtype=float).reshape(20, 2), objects_per_page=2, dataset_id="d"
+    )
+
+
+def make_pool(disk, dataset, policy):
+    pool = BufferPool(disk, capacity=3, policy=policy)
+    pool.attach(dataset)
+    return pool
+
+
+class TestPolicyValidation:
+    def test_known_policies(self):
+        assert set(REPLACEMENT_POLICIES) == {"lru", "fifo", "mru"}
+
+    def test_unknown_rejected(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, 4, policy="clock")
+
+
+class TestFifo:
+    def test_hit_does_not_refresh(self, disk, dataset):
+        pool = make_pool(disk, dataset, "fifo")
+        for page in (0, 1, 2):
+            pool.fetch("d", page)
+        pool.fetch("d", 0)  # hit; FIFO ignores recency
+        pool.fetch("d", 9)  # evicts 0, the oldest arrival
+        assert not pool.contains("d", 0)
+        assert pool.contains("d", 1)
+
+    def test_lru_contrast(self, disk, dataset):
+        pool = make_pool(disk, dataset, "lru")
+        for page in (0, 1, 2):
+            pool.fetch("d", page)
+        pool.fetch("d", 0)  # refresh
+        pool.fetch("d", 9)  # evicts 1 under LRU
+        assert pool.contains("d", 0)
+        assert not pool.contains("d", 1)
+
+
+class TestMru:
+    def test_evicts_hottest(self, disk, dataset):
+        pool = make_pool(disk, dataset, "mru")
+        for page in (0, 1, 2):
+            pool.fetch("d", page)
+        pool.fetch("d", 9)  # evicts 2, the most recently used
+        assert not pool.contains("d", 2)
+        assert pool.contains("d", 0)
+        assert pool.contains("d", 1)
+
+    def test_sequential_flood_retains_prefix(self, disk, dataset):
+        """MRU's claim to fame: a sequential sweep keeps early pages."""
+        pool = make_pool(disk, dataset, "mru")
+        for page in range(10):
+            pool.fetch("d", page)
+        assert pool.contains("d", 0)
+        assert pool.contains("d", 1)
+
+
+class TestPolicyThroughJoin:
+    def test_join_results_policy_independent(self, vector_pair):
+        from repro.core.join import join
+
+        r, s = vector_pair
+        reference = None
+        for policy in REPLACEMENT_POLICIES:
+            result = join(r, s, 0.05, method="sc", buffer_pages=8,
+                          buffer_policy=policy)
+            if reference is None:
+                reference = sorted(result.pairs)
+            assert sorted(result.pairs) == reference
+
+    def test_unknown_policy_via_join(self, vector_pair):
+        from repro.core.join import join
+
+        r, s = vector_pair
+        with pytest.raises(ValueError):
+            join(r, s, 0.05, buffer_policy="clock")

@@ -1,0 +1,116 @@
+"""Unit tests for the simulated linear disk."""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(CostModel(seek_s=0.010, transfer_s=0.001))
+
+
+class TestPlacement:
+    def test_contiguous_extents(self, disk):
+        assert disk.place("a", 5) == 0
+        assert disk.place("b", 3) == 5
+        assert disk.total_blocks == 8
+        assert disk.block_of("b", 0) == 5
+
+    def test_duplicate_placement_rejected(self, disk):
+        disk.place("a", 5)
+        with pytest.raises(ValueError):
+            disk.place("a", 5)
+
+    def test_zero_pages_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.place("a", 0)
+
+    def test_unknown_dataset(self, disk):
+        with pytest.raises(KeyError):
+            disk.block_of("nope", 0)
+
+    def test_out_of_range_page(self, disk):
+        disk.place("a", 5)
+        with pytest.raises(IndexError):
+            disk.block_of("a", 5)
+
+
+class TestReadAccounting:
+    def test_first_read_seeks(self, disk):
+        disk.place("a", 10)
+        disk.read("a", 3)
+        assert disk.stats.transfers == 1
+        assert disk.stats.seeks == 1
+        assert disk.stats.io_seconds == pytest.approx(0.011)
+
+    def test_sequential_run_one_seek(self, disk):
+        disk.place("a", 10)
+        for page in range(5):
+            disk.read("a", page)
+        assert disk.stats.transfers == 5
+        assert disk.stats.seeks == 1
+        assert disk.stats.io_seconds == pytest.approx(0.010 + 5 * 0.001)
+
+    def test_backward_jump_seeks(self, disk):
+        disk.place("a", 10)
+        disk.read("a", 5)
+        disk.read("a", 4)
+        assert disk.stats.seeks == 2
+
+    def test_skip_seeks(self, disk):
+        disk.place("a", 10)
+        disk.read("a", 0)
+        disk.read("a", 2)
+        assert disk.stats.seeks == 2
+
+    def test_cross_dataset_adjacency_is_sequential(self, disk):
+        # Extents are contiguous: last page of a is adjacent to first of b.
+        disk.place("a", 2)
+        disk.place("b", 2)
+        disk.read("a", 1)
+        disk.read("b", 0)
+        assert disk.stats.seeks == 1
+
+    def test_charge_stream(self, disk):
+        disk.place("a", 100)
+        disk.charge_stream(transfers=100, seeks=2)
+        assert disk.stats.transfers == 100
+        assert disk.stats.seeks == 2
+        assert disk.stats.io_seconds == pytest.approx(0.02 + 0.1)
+        # Head is invalidated: the next read seeks.
+        disk.read("a", 0)
+        assert disk.stats.seeks == 3
+
+    def test_charge_stream_rejects_negative(self, disk):
+        with pytest.raises(ValueError):
+            disk.charge_stream(-1)
+
+
+class TestCostOfReadSet:
+    def test_empty(self, disk):
+        disk.place("a", 10)
+        assert disk.cost_of_read_set([]) == 0.0
+
+    def test_one_run(self, disk):
+        disk.place("a", 10)
+        cost = disk.cost_of_read_set([("a", 2), ("a", 3), ("a", 4)])
+        assert cost == pytest.approx(0.010 + 3 * 0.001)
+
+    def test_two_runs(self, disk):
+        disk.place("a", 10)
+        cost = disk.cost_of_read_set([("a", 0), ("a", 1), ("a", 7)])
+        assert cost == pytest.approx(2 * 0.010 + 3 * 0.001)
+
+    def test_does_not_touch_state(self, disk):
+        disk.place("a", 10)
+        disk.cost_of_read_set([("a", 0), ("a", 5)])
+        assert disk.stats.transfers == 0
+        assert disk.head_block == -2
+
+    def test_order_independent(self, disk):
+        disk.place("a", 10)
+        forward = disk.cost_of_read_set([("a", 1), ("a", 5), ("a", 2)])
+        backward = disk.cost_of_read_set([("a", 5), ("a", 2), ("a", 1)])
+        assert forward == pytest.approx(backward)

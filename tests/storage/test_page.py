@@ -1,0 +1,133 @@
+"""Unit tests for paged datasets."""
+
+import numpy as np
+import pytest
+
+from repro.storage.page import SequencePagedDataset, VectorPagedDataset
+
+
+class TestVectorPagedFixedCapacity:
+    def test_paging(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        ds = VectorPagedDataset(data, objects_per_page=4)
+        assert ds.num_pages == 3
+        assert ds.num_objects == 10
+        assert ds.object_count(0) == 4
+        assert ds.object_count(2) == 2  # ragged tail
+        assert np.array_equal(ds.page_objects(1), data[4:8])
+
+    def test_global_ids(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        ds = VectorPagedDataset(data, objects_per_page=4)
+        assert ds.global_object_id(0, 0) == 0
+        assert ds.global_object_id(1, 3) == 7
+        assert ds.global_object_id(2, 1) == 9
+        with pytest.raises(IndexError):
+            ds.global_object_id(2, 2)
+
+    def test_page_of_object(self):
+        ds = VectorPagedDataset(np.zeros((10, 2)), objects_per_page=4)
+        assert ds.page_of_object(0) == 0
+        assert ds.page_of_object(3) == 0
+        assert ds.page_of_object(4) == 1
+        assert ds.page_of_object(9) == 2
+        with pytest.raises(IndexError):
+            ds.page_of_object(10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VectorPagedDataset(np.empty((0, 2)), objects_per_page=4)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            VectorPagedDataset(np.zeros((4, 2)), objects_per_page=0)
+
+
+class TestVectorPagedExplicitOffsets:
+    def test_offsets(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        ds = VectorPagedDataset(data, page_offsets=[0, 3, 4, 10])
+        assert ds.num_pages == 3
+        assert ds.object_count(1) == 1
+        assert ds.page_slice(2) == (4, 10)
+        assert ds.global_object_id(2, 5) == 9
+
+    def test_rejects_both_arguments(self):
+        with pytest.raises(ValueError):
+            VectorPagedDataset(np.zeros((4, 2)), objects_per_page=2, page_offsets=[0, 4])
+
+    def test_rejects_neither_argument(self):
+        with pytest.raises(ValueError):
+            VectorPagedDataset(np.zeros((4, 2)))
+
+    @pytest.mark.parametrize(
+        "offsets", [[1, 4], [0, 3], [0, 0, 4], [0, 3, 2, 4], [0]]
+    )
+    def test_rejects_bad_offsets(self, offsets):
+        with pytest.raises(ValueError):
+            VectorPagedDataset(np.zeros((4, 2)), page_offsets=offsets)
+
+
+class TestSequencePagedText:
+    def test_window_ownership(self):
+        ds = SequencePagedDataset("ABCDEFGHIJ", symbols_per_page=3, window_length=4)
+        # 7 windows, 3 per page -> 3 pages.
+        assert ds.num_windows == 7
+        assert ds.num_pages == 3
+        assert ds.window_range(0) == (0, 3)
+        assert ds.window_range(2) == (6, 7)
+
+    def test_page_objects_are_windows(self):
+        ds = SequencePagedDataset("ABCDEFGHIJ", symbols_per_page=3, window_length=4)
+        assert ds.page_objects(0) == ["ABCD", "BCDE", "CDEF"]
+        assert ds.page_objects(2) == ["GHIJ"]
+
+    def test_page_of_offset(self):
+        ds = SequencePagedDataset("ABCDEFGHIJ", symbols_per_page=3, window_length=4)
+        assert ds.page_of_offset(0) == 0
+        assert ds.page_of_offset(2) == 0
+        assert ds.page_of_offset(3) == 1
+        assert ds.page_of_offset(6) == 2
+        with pytest.raises(IndexError):
+            ds.page_of_offset(7)
+
+    def test_global_ids_are_offsets(self):
+        ds = SequencePagedDataset("ABCDEFGHIJ", symbols_per_page=3, window_length=4)
+        assert ds.global_object_id(1, 0) == 3
+        assert ds.global_object_id(2, 0) == 6
+
+    def test_rejects_short_sequence(self):
+        with pytest.raises(ValueError):
+            SequencePagedDataset("AB", symbols_per_page=2, window_length=4)
+
+
+class TestSequencePagedNumeric:
+    def test_windows_are_strided_views(self):
+        seq = np.arange(10, dtype=float)
+        ds = SequencePagedDataset(seq, symbols_per_page=4, window_length=3)
+        windows = ds.page_objects(0)
+        assert windows.shape == (4, 3)
+        assert np.array_equal(windows[0], [0, 1, 2])
+        assert np.array_equal(windows[3], [3, 4, 5])
+
+    def test_window_count(self):
+        ds = SequencePagedDataset(np.arange(10, dtype=float), symbols_per_page=4, window_length=3)
+        assert ds.num_windows == 8
+        assert ds.num_pages == 2
+
+    def test_rejects_2d_array(self):
+        with pytest.raises(ValueError):
+            SequencePagedDataset(np.zeros((3, 3)), symbols_per_page=2, window_length=2)
+
+    def test_every_window_served_by_one_page(self):
+        seq = np.arange(50, dtype=float)
+        ds = SequencePagedDataset(seq, symbols_per_page=7, window_length=5)
+        seen = []
+        for page in range(ds.num_pages):
+            start, stop = ds.window_range(page)
+            windows = ds.page_objects(page)
+            assert len(windows) == stop - start
+            for local, offset in enumerate(range(start, stop)):
+                assert np.array_equal(windows[local], seq[offset : offset + 5])
+            seen.extend(range(start, stop))
+        assert seen == list(range(ds.num_windows))

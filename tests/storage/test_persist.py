@@ -1,0 +1,91 @@
+"""Round-trip tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset, join
+from repro.storage.persist import load_dataset, save_dataset
+
+
+class TestVectorRoundTrip:
+    def test_join_identical_after_reload(self, rng, tmp_path):
+        original = IndexedDataset.from_points(rng.random((200, 2)), page_capacity=16)
+        other = IndexedDataset.from_points(rng.random((150, 2)), page_capacity=16)
+        before = join(original, other, 0.05, method="sc", buffer_pages=10)
+
+        save_dataset(original, tmp_path / "ds")
+        restored = load_dataset(tmp_path / "ds")
+        after = join(restored, other, 0.05, method="sc", buffer_pages=10)
+        assert sorted(before.pairs) == sorted(after.pairs)
+        assert before.report.page_reads == after.report.page_reads
+
+    def test_structure_preserved(self, rng, tmp_path):
+        original = IndexedDataset.from_points(rng.random((120, 3)), page_capacity=8)
+        save_dataset(original, tmp_path / "ds")
+        restored = load_dataset(tmp_path / "ds")
+        assert restored.kind == "vector"
+        assert restored.num_pages == original.num_pages
+        assert np.array_equal(restored.index.order, original.index.order)
+        assert np.array_equal(restored.paged.vectors, original.paged.vectors)
+        for a, b in zip(restored.index.leaf_boxes, original.index.leaf_boxes):
+            assert a == b
+        assert restored.index.root.count_nodes() == original.index.root.count_nodes()
+
+    def test_distance_preserved(self, rng, tmp_path):
+        original = IndexedDataset.from_points(rng.random((50, 2)), page_capacity=8, p=1.0)
+        save_dataset(original, tmp_path / "ds")
+        restored = load_dataset(tmp_path / "ds")
+        assert restored.distance.p == 1.0
+
+
+class TestSequenceRoundTrip:
+    def test_text_round_trip(self, dna_dataset, tmp_path):
+        save_dataset(dna_dataset, tmp_path / "dna")
+        restored = load_dataset(tmp_path / "dna")
+        assert restored.kind == "text"
+        assert restored.paged.sequence == dna_dataset.paged.sequence
+        assert np.array_equal(restored.features, dna_dataset.features)
+        before = join(dna_dataset, dna_dataset, 1, method="sc", buffer_pages=10)
+        after = join(restored, restored, 1, method="sc", buffer_pages=10)
+        assert sorted(before.pairs) == sorted(after.pairs)
+
+    def test_series_round_trip(self, rng, tmp_path):
+        seq = rng.normal(size=300).cumsum()
+        original = IndexedDataset.from_time_series(seq, window_length=8, windows_per_page=16)
+        save_dataset(original, tmp_path / "series")
+        restored = load_dataset(tmp_path / "series")
+        assert restored.kind == "series"
+        assert np.array_equal(np.asarray(restored.paged.sequence), seq)
+
+    def test_dtw_series_round_trip(self, rng, tmp_path):
+        seq = rng.normal(size=300).cumsum()
+        original = IndexedDataset.from_time_series(
+            seq, window_length=8, windows_per_page=16, dtw_band=2
+        )
+        save_dataset(original, tmp_path / "dtw")
+        restored = load_dataset(tmp_path / "dtw")
+        assert restored.distance.band == 2
+        before = join(original, original, 0.4, method="sc", buffer_pages=10)
+        after = join(restored, restored, 0.4, method="sc", buffer_pages=10)
+        assert sorted(before.pairs) == sorted(after.pairs)
+
+
+class TestErrors:
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")
+
+    def test_save_rejects_non_dataset(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_dataset(object(), tmp_path / "x")
+
+    def test_version_check(self, rng, tmp_path):
+        import json
+
+        ds = IndexedDataset.from_points(rng.random((20, 2)), page_capacity=8)
+        path = save_dataset(ds, tmp_path / "v")
+        meta = json.loads((path / "dataset.json").read_text())
+        meta["format_version"] = 999
+        (path / "dataset.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,38 @@
+"""Unit tests for batch read planning."""
+
+from repro.storage.scheduler import count_runs, plan_batch_read
+
+
+class TestPlanBatchRead:
+    def test_sorted_by_block(self, disk):
+        disk.place("a", 10)
+        disk.place("b", 10)
+        plan = plan_batch_read(disk, [("b", 0), ("a", 3), ("a", 1)])
+        assert plan == [("a", 1), ("a", 3), ("b", 0)]
+
+    def test_deduplicates(self, disk):
+        disk.place("a", 10)
+        plan = plan_batch_read(disk, [("a", 1), ("a", 1)])
+        assert plan == [("a", 1)]
+
+    def test_empty(self, disk):
+        assert plan_batch_read(disk, []) == []
+
+
+class TestCountRuns:
+    def test_single_run(self, disk):
+        disk.place("a", 10)
+        assert count_runs(disk, [("a", 2), ("a", 3), ("a", 4)]) == 1
+
+    def test_fragmented(self, disk):
+        disk.place("a", 10)
+        assert count_runs(disk, [("a", 0), ("a", 2), ("a", 4)]) == 3
+
+    def test_cross_dataset_run(self, disk):
+        disk.place("a", 2)
+        disk.place("b", 2)
+        # a's last block and b's first block are physically adjacent.
+        assert count_runs(disk, [("a", 1), ("b", 0)]) == 1
+
+    def test_empty(self, disk):
+        assert count_runs(disk, []) == 0

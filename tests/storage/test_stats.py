@@ -1,0 +1,50 @@
+"""Unit tests for I/O stats and cost reports."""
+
+import pytest
+
+from repro.storage.stats import CostReport, IOStats
+
+
+class TestIOStats:
+    def test_snapshot_and_since(self):
+        stats = IOStats()
+        stats.transfers = 5
+        stats.seeks = 2
+        snap = stats.snapshot()
+        stats.transfers = 9
+        stats.io_seconds = 1.5
+        delta = stats.since(snap)
+        assert delta.transfers == 4
+        assert delta.seeks == 0
+        assert delta.io_seconds == 1.5
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats(transfers=1)
+        snap = stats.snapshot()
+        stats.transfers = 10
+        assert snap.transfers == 1
+
+    def test_reset(self):
+        stats = IOStats(transfers=3, seeks=1, buffer_hits=2, io_seconds=0.5)
+        stats.reset()
+        assert stats == IOStats()
+
+
+class TestCostReport:
+    def test_total(self):
+        report = CostReport(
+            method="sc", preprocess_seconds=1.0, cpu_seconds=2.0, io_seconds=3.0
+        )
+        assert report.total_seconds == pytest.approx(6.0)
+
+    def test_describe_mentions_method_and_costs(self):
+        report = CostReport(method="sc", io_seconds=1.25, result_pairs=7)
+        text = report.describe()
+        assert "sc" in text
+        assert "1.250" in text
+        assert "pairs=7" in text
+
+    def test_frozen(self):
+        report = CostReport(method="sc")
+        with pytest.raises(AttributeError):
+            report.io_seconds = 5.0  # type: ignore[misc]

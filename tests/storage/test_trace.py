@@ -1,0 +1,75 @@
+"""Unit tests for disk access tracing."""
+
+import pytest
+
+from repro.storage.trace import AccessTrace, attach_trace
+
+
+class TestAccessTrace:
+    def test_records_reads(self, disk):
+        disk.place("a", 10)
+        trace = attach_trace(disk)
+        disk.read("a", 0)
+        disk.read("a", 1)
+        disk.read("a", 5)
+        assert len(trace) == 3
+        assert trace.events[0] == ("a", 0, 0)
+
+    def test_summary_runs(self, disk):
+        disk.place("a", 10)
+        trace = attach_trace(disk)
+        for page in (0, 1, 2, 7, 8, 3):
+            disk.read("a", page)
+        summary = trace.summary()
+        assert summary.total_reads == 6
+        assert summary.run_count == 3
+        assert summary.max_run_length == 3
+        assert summary.total_seeks == 3
+        assert summary.reads_per_dataset == {"a": 6}
+
+    def test_seek_ratio(self, disk):
+        disk.place("a", 10)
+        trace = attach_trace(disk)
+        for page in (0, 2, 4, 6):
+            disk.read("a", page)
+        assert trace.summary().seek_ratio == 1.0
+
+    def test_empty_summary(self):
+        summary = AccessTrace().summary()
+        assert summary.total_reads == 0
+        assert summary.seek_ratio == 0.0
+
+    def test_describe(self, disk):
+        disk.place("a", 4)
+        trace = attach_trace(disk)
+        disk.read("a", 0)
+        assert "1 reads" in trace.summary().describe()
+
+
+class TestTraceValidatesSchedules:
+    def test_sc_reads_are_batched_runs(self, vector_pair):
+        """SC's optimally scheduled cluster reads form long runs."""
+        from repro.core.join import join
+        from repro.storage.buffer import BufferPool
+        from repro.storage.disk import SimulatedDisk
+
+        # Reproduce a join manually so the trace sees the disk.
+        r, s = vector_pair
+        from repro.core.executor import execute_clusters
+        from repro.core.schedule import greedy_cluster_order
+        from repro.core.square import square_clustering
+        from repro.core.sweep import build_prediction_matrix
+
+        matrix, _ = build_prediction_matrix(
+            r.index.root, s.index.root, 0.05, r.num_pages, s.num_pages
+        )
+        clusters, _ = square_clustering(matrix, 10)
+        ordered = greedy_cluster_order(clusters, r.paged.dataset_id, s.paged.dataset_id)
+        disk = SimulatedDisk()
+        trace = attach_trace(disk)
+        pool = BufferPool(disk, 10)
+        noop = lambda row, col, pr, ps: ([], 0, 0, 0.0)
+        execute_clusters(ordered, pool, r.paged, s.paged, noop)
+        summary = trace.summary()
+        assert summary.total_reads > 0
+        assert summary.mean_run_length > 1.0  # batched, not random

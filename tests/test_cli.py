@@ -1,0 +1,101 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_roads_npy(self, tmp_path, capsys):
+        out = tmp_path / "roads.npy"
+        assert main(["generate", "roads", "--n", "500", "--out", str(out)]) == 0
+        data = np.load(out)
+        assert data.shape == (500, 2)
+        assert "wrote 500" in capsys.readouterr().out
+
+    def test_landsat_csv(self, tmp_path):
+        out = tmp_path / "landsat.csv"
+        main(["generate", "landsat", "--n", "100", "--out", str(out)])
+        data = np.loadtxt(out, delimiter=",")
+        assert data.shape == (100, 60)
+
+    def test_dna_txt(self, tmp_path):
+        out = tmp_path / "dna.txt"
+        main(["generate", "dna", "--n", "5000", "--out", str(out)])
+        text = out.read_text()
+        assert len(text) == 5000
+        assert set(text) <= set("ACGT")
+
+    def test_walks(self, tmp_path):
+        out = tmp_path / "w.txt"
+        main(["generate", "walks", "--n", "640", "--out", str(out)])
+        assert np.loadtxt(out).shape == (640,)
+
+
+class TestJoin:
+    def test_point_join_with_pairs_csv(self, tmp_path, capsys):
+        left = tmp_path / "l.npy"
+        right = tmp_path / "r.npy"
+        rng = np.random.default_rng(0)
+        np.save(left, rng.random((300, 2)))
+        np.save(right, rng.random((200, 2)))
+        pairs_out = tmp_path / "pairs.csv"
+        code = main([
+            "join", "points", str(left), str(right),
+            "--epsilon", "0.05", "--buffer", "10",
+            "--page-capacity", "16", "--pairs-out", str(pairs_out),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "pairs within epsilon" in output
+        lines = pairs_out.read_text().splitlines()
+        assert lines[0] == "left_id,right_id"
+        assert len(lines) > 1
+
+    def test_point_self_join(self, tmp_path, capsys):
+        left = tmp_path / "l.npy"
+        np.save(left, np.random.default_rng(1).random((200, 2)))
+        assert main([
+            "join", "points", str(left),
+            "--epsilon", "0.05", "--buffer", "8", "--page-capacity", "16",
+        ]) == 0
+
+    def test_dna_join(self, tmp_path, capsys):
+        from repro.datasets import markov_dna
+
+        a = tmp_path / "a.txt"
+        a.write_text(markov_dna(1200, seed=1))
+        assert main([
+            "join", "sequence", str(a),
+            "--epsilon", "1", "--window", "10",
+            "--windows-per-page", "32", "--buffer", "10",
+        ]) == 0
+        assert "pairs within" in capsys.readouterr().out
+
+    def test_numeric_sequence_join(self, tmp_path):
+        seq = tmp_path / "s.txt"
+        np.savetxt(seq, np.random.default_rng(2).normal(size=300).cumsum())
+        assert main([
+            "join", "sequence", str(seq),
+            "--epsilon", "0.3", "--window", "8",
+            "--windows-per-page", "16", "--buffer", "8",
+        ]) == 0
+
+    def test_csv_points_input(self, tmp_path):
+        left = tmp_path / "l.csv"
+        np.savetxt(left, np.random.default_rng(3).random((100, 2)), delimiter=",")
+        assert main([
+            "join", "points", str(left),
+            "--epsilon", "0.1", "--buffer", "8", "--page-capacity", "16",
+        ]) == 0
+
+    def test_method_selection(self, tmp_path, capsys):
+        left = tmp_path / "l.npy"
+        np.save(left, np.random.default_rng(4).random((100, 2)))
+        main([
+            "join", "points", str(left),
+            "--epsilon", "0.05", "--method", "nlj", "--buffer", "8",
+            "--page-capacity", "16",
+        ])
+        assert "nlj" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""The public API surface: exports, errors, doctests."""
+
+import doctest
+import importlib
+
+import pytest
+
+
+class TestExports:
+    def test_top_level(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.storage",
+            "repro.distance",
+            "repro.index",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.sequence",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name) is not None, f"{module}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import InfeasibleBufferError, ReproError
+
+        assert issubclass(InfeasibleBufferError, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_infeasible_is_catchable_as_repro_error(self, rng):
+        from repro.core.join import IndexedDataset, join
+        from repro.errors import ReproError
+
+        r = IndexedDataset.from_points(rng.random((400, 2)), page_capacity=4)
+        with pytest.raises(ReproError):
+            join(r, r, 0.3, method="bfrj", buffer_pages=2)
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry.rect",
+            "repro.core.prediction",
+            "repro.distance.vector",
+        ],
+    )
+    def test_module_doctests(self, module):
+        mod = importlib.import_module(module)
+        result = doctest.testmod(mod, verbose=False)
+        assert result.failed == 0
+        assert result.attempted > 0  # the module advertises examples
+
+
+class TestExperimentsCli:
+    def test_main_module_runs_tiny(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["figure10", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "[figure10" in out
