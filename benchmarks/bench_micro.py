@@ -2,18 +2,42 @@
 
 Not tied to a paper exhibit; these track the wall-clock cost of the
 building blocks so performance regressions are visible in isolation.
+Kernel and executor benches additionally fold their measurements into
+``BENCH_micro.json`` (see ``conftest.record_json_result``) so the perf
+trajectory is machine-readable across PRs.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink workloads for CI smoke runs.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.costcluster import cost_clustering
+from repro.core.join import IndexedDataset, join
 from repro.core.square import square_clustering
 from repro.core.sweep import build_prediction_matrix
 from repro.datasets import markov_dna, road_intersections
+from repro.distance.dtw import dtw_distance
+from repro.distance.edit import edit_distance
 from repro.distance.frequency import frequency_vectors_sliding
 from repro.experiments.figures import SPATIAL_EPSILON, lbeach_mcounty
 from repro.index.rstar import RStarTree, build_spatial_page_index
+from repro.kernels import dtw_batch, edit_batch, encode_strings, minkowski_pairs
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+
+def _best_of(fn, repeats=2):
+    """Best-of-N wall clock (first call also warms caches)."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
 
 
 def test_rstar_bulk_load(benchmark):
@@ -77,3 +101,144 @@ def test_spatial_page_index(benchmark):
     points = road_intersections(20_000, seed=0)
     page_index, reordered = benchmark(build_spatial_page_index, points, 64)
     assert reordered.shape == points.shape
+
+
+# -- batched kernel layer (ISSUE 1) ------------------------------------------------
+#
+# The sequence-join refinement micro-benchmark: candidate window pairs
+# pushed through the scalar reference DPs one pair at a time versus one
+# batched kernel call.  The acceptance bar is a >= 3x speedup; the
+# batched DP amortises the interpreted loop over the whole block, so the
+# observed factor is typically an order of magnitude.
+
+
+def test_refinement_kernel_speedup(record_json):
+    rng = np.random.default_rng(0)
+    pairs = 400 if QUICK else 4_000
+    w, band, eps = 64, 4, 3.0
+
+    a = rng.normal(size=(pairs, w)).cumsum(axis=1)
+    b = a + rng.normal(scale=0.2, size=(pairs, w))
+    scalar_s, scalar_dtw = _best_of(
+        lambda: np.array(
+            [dtw_distance(a[k], b[k], band, max_dist=eps) for k in range(pairs)]
+        )
+    )
+    batch_s, batch_dtw = _best_of(lambda: dtw_batch(a, b, band, max_dist=eps))
+    assert np.array_equal(scalar_dtw, batch_dtw)
+    dtw_speedup = scalar_s / batch_s
+
+    dna = markov_dna(pairs + w, seed=1)
+    left = [dna[k : k + w] for k in range(pairs)]
+    mutated = list(dna)
+    for pos in rng.choice(len(mutated), size=len(mutated) // 12, replace=False):
+        mutated[pos] = "ACGT"[rng.integers(4)]
+    right = ["".join(mutated[k : k + w]) for k in range(pairs)]
+    limit = 4
+    edit_scalar_s, scalar_ed = _best_of(
+        lambda: np.array(
+            [edit_distance(s, t, max_dist=limit) for s, t in zip(left, right)]
+        )
+    )
+    lc, rc = encode_strings(left), encode_strings(right)
+    edit_batch_s, batch_ed = _best_of(lambda: edit_batch(lc, rc, limit))
+    assert np.array_equal(scalar_ed, batch_ed)
+    edit_speedup = edit_scalar_s / edit_batch_s
+
+    record_json(
+        "refinement_kernels",
+        {
+            "pairs": pairs,
+            "window_length": w,
+            "dtw": {
+                "band": band,
+                "scalar_seconds": scalar_s,
+                "batched_seconds": batch_s,
+                "speedup": dtw_speedup,
+            },
+            "edit": {
+                "threshold": limit,
+                "scalar_seconds": edit_scalar_s,
+                "batched_seconds": edit_batch_s,
+                "speedup": edit_speedup,
+            },
+        },
+    )
+    assert dtw_speedup >= 3.0
+    assert edit_speedup >= 3.0
+
+
+def test_minkowski_gram_filter_speedup(record_json):
+    """Gram prefilter + gathered refine vs the difference-tensor reference."""
+    rng = np.random.default_rng(2)
+    n = 1_000 if QUICK else 4_000
+    d, eps = 16, 1.0  # ~0.6% selectivity: the refine stage does real work
+    left = rng.random((n, d))
+    right = rng.random((n, d))
+
+    def reference():
+        found = []
+        for start in range(0, n, 1024):
+            chunk = left[start : start + 1024]
+            diff = chunk[:, None, :] - right[None, :, :]
+            dist = np.sqrt(np.sum(diff * diff, axis=2))
+            rows, cols = np.nonzero(dist <= eps)
+            found.extend(zip((rows + start).tolist(), cols.tolist()))
+        return found
+
+    ref_s, ref_pairs = _best_of(reference)
+    kern_s, kern_pairs = _best_of(lambda: minkowski_pairs(left, right, eps, 2.0))
+    assert kern_pairs == ref_pairs
+    record_json(
+        "minkowski_gram_filter",
+        {
+            "points": n,
+            "dim": d,
+            "epsilon": eps,
+            "result_pairs": len(ref_pairs),
+            "reference_seconds": ref_s,
+            "kernel_seconds": kern_s,
+            "speedup": ref_s / kern_s,
+        },
+    )
+    assert ref_s / kern_s > 1.0
+
+
+def test_parallel_cluster_execution(record_json):
+    """Serial vs 2-worker cluster execution on a multi-cluster DTW join.
+
+    The contract is determinism first: identical pairs and identical
+    simulated page reads.  Wall-clock speedup depends on the host's core
+    count (this container may expose a single CPU, capping it at ~1x);
+    the measured factor is recorded either way.
+    """
+    rng = np.random.default_rng(3)
+    seq = rng.normal(size=2_000 if QUICK else 8_000).cumsum()
+    ds = IndexedDataset.from_time_series(
+        seq, window_length=24, windows_per_page=64, dtw_band=3
+    )
+
+    serial_s, serial = _best_of(
+        lambda: join(ds, ds, 1.0, method="sc", buffer_pages=16, workers=1)
+    )
+    parallel_s, parallel = _best_of(
+        lambda: join(ds, ds, 1.0, method="sc", buffer_pages=16, workers=2)
+    )
+    assert parallel.pairs == serial.pairs
+    assert parallel.report.page_reads == serial.report.page_reads
+    assert parallel.report.seeks == serial.report.seeks
+    record_json(
+        "parallel_cluster_execution",
+        {
+            "windows": int(ds.num_objects),
+            "clusters": serial.report.extra["num_clusters"],
+            "workers": 2,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s,
+            "page_reads_serial": serial.report.page_reads,
+            "page_reads_parallel": parallel.report.page_reads,
+            "result_pairs": serial.num_pairs,
+        },
+    )

@@ -9,11 +9,35 @@ authors' 2002 testbed (see DESIGN.md §3).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# Machine-readable benchmark trajectory: every bench run folds its numbers
+# into this one file (keyed by section) so successive PRs can diff perf
+# without parsing text tables.  Checked in at the repo root; CI uploads it
+# as an artifact.
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_micro.json"
+
+
+def record_json_result(section: str, payload) -> None:
+    """Merge one section of measurements into ``BENCH_micro.json``."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    return record_json_result
 
 
 def assert_ordering(values: dict, ordering: list, slack: float = 1.0) -> None:
@@ -45,6 +69,9 @@ def record_result(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    # Mirror every figure/table bench into the machine-readable trajectory
+    # file so one artifact carries the whole run.
+    record_json_result(f"table:{name}", {"text": text})
 
 
 @pytest.fixture(scope="session")

@@ -6,10 +6,23 @@ For each cluster in schedule order (Section 8):
    pages retained from the previous cluster are reused, not re-read;
 2. every marked entry of the cluster is joined entirely in memory (its two
    pages are guaranteed resident because ``r + c <= B``).
+
+With ``workers > 1`` the CPU half of step 2 is dispatched to a thread
+pool: clusters are independent units of work (each owns its buffer-
+resident pages), so their page-pair joins run concurrently while the
+main thread walks the schedule.  All buffer and disk traffic stays on
+the main thread in exactly the serial order — the simulated I/O counts
+(Lemma 1/2 accounting) are identical to a serial run by construction —
+and per-worker results are merged in schedule order, so the outcome
+(pairs list included) is deterministic and equal to the serial one.
+Threads, not processes: the joiners are numpy-bound (the batched kernels
+release the GIL inside BLAS/ufunc loops) and close over unpicklable
+dataset state.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, Tuple
 
@@ -25,6 +38,9 @@ PagePairJoin = Callable[
     [int, int, object, object],
     Tuple[List[Tuple[int, int]], int, int, float],
 ]
+
+# One cluster's worth of dispatched work: (row, col, r_payload, s_payload).
+_ClusterWork = List[Tuple[int, int, object, object]]
 
 
 @dataclass
@@ -53,24 +69,70 @@ def execute_clusters(
     r_dataset: PagedDataset,
     s_dataset: PagedDataset,
     page_pair_join: PagePairJoin,
+    workers: int = 1,
 ) -> ExecutionOutcome:
     """Process clusters in the given order; returns the measured outcome.
+
+    ``workers > 1`` parallelises the page-pair joins across a thread pool
+    (one task per cluster) without changing any simulated I/O count or
+    the result; see the module docstring for the determinism argument.
 
     Raises ``ValueError`` if any cluster does not fit the pool's available
     frames (Lemma 2's precondition — clustering must have enforced it).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     pool.attach(r_dataset)
     pool.attach(s_dataset)
     outcome = ExecutionOutcome()
     r_id = r_dataset.dataset_id
     s_id = s_dataset.dataset_id
-    for cluster in ordered_clusters:
-        wanted = sorted(cluster.page_keys(r_id, s_id))
-        missing = pool.load_batch(wanted)
-        outcome.pages_read += len(missing)
-        outcome.pages_reused += len(wanted) - len(missing)
-        for row, col in cluster.entries:
-            r_payload = pool.fetch(r_id, row)
-            s_payload = pool.fetch(s_id, col)
-            outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
+    if workers == 1:
+        for cluster in ordered_clusters:
+            _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+            for row, col in cluster.entries:
+                r_payload = pool.fetch(r_id, row)
+                s_payload = pool.fetch(s_id, col)
+                outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
+        return outcome
+
+    futures: List[Future] = []
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        for cluster in ordered_clusters:
+            _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+            # Fetch on the main thread, in entry order: the buffer/disk
+            # state transitions replay the serial run exactly.  Payload
+            # references stay valid after eviction — eviction drops the
+            # frame, not the in-memory array the frame pointed at.
+            work: _ClusterWork = [
+                (row, col, pool.fetch(r_id, row), pool.fetch(s_id, col))
+                for row, col in cluster.entries
+            ]
+            futures.append(executor.submit(_join_cluster, page_pair_join, work))
+        # Merge in schedule order regardless of completion order.
+        for future in futures:
+            for result in future.result():
+                outcome.absorb(result)
     return outcome
+
+
+def _stage_cluster_pages(
+    cluster: Cluster,
+    pool: BufferPool,
+    r_id,
+    s_id,
+    outcome: ExecutionOutcome,
+) -> None:
+    """Batched load of a cluster's page set, with reuse accounting."""
+    wanted = sorted(cluster.page_keys(r_id, s_id))
+    missing = pool.load_batch(wanted)
+    outcome.pages_read += len(missing)
+    outcome.pages_reused += len(wanted) - len(missing)
+
+
+def _join_cluster(page_pair_join: PagePairJoin, work: _ClusterWork) -> List:
+    """Worker body: join one cluster's entries, preserving entry order."""
+    return [
+        page_pair_join(row, col, r_payload, s_payload)
+        for row, col, r_payload, s_payload in work
+    ]

@@ -281,6 +281,7 @@ def join(
     cc_histogram_bins: int = 32,
     count_only: bool = False,
     buffer_policy: str = "lru",
+    workers: int = 1,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -304,6 +305,11 @@ def join(
     buffer_policy:
         Buffer replacement policy; the paper (and the default) is LRU.
         ``"fifo"`` and ``"mru"`` exist for the replacement-policy ablation.
+    workers:
+        Thread-pool width for cluster execution (``sc``/``rand-sc``/``cc``
+        only; other methods ignore it).  Clusters are independent units
+        of work, so their page-pair joins run concurrently; simulated
+        I/O counts and the result are identical to ``workers=1``.
     """
     if method not in JOIN_METHODS:
         raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
@@ -352,7 +358,9 @@ def join(
         )
         ordered, ordering_ops = _order_clusters(method, clusters, r, s, seed)
         preprocess_seconds = model.cpu_cost(cluster_ops + ordering_ops)
-        outcome = execute_clusters(ordered, pool, r.paged, s.paged, joiner)
+        outcome = execute_clusters(
+            ordered, pool, r.paged, s.paged, joiner, workers=workers
+        )
         clusters = ordered
 
     report = _assemble_report(

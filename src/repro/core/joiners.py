@@ -21,8 +21,8 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 from repro.costmodel import CostModel
-from repro.distance.edit import edit_distance
 from repro.distance.vector import MinkowskiDistance
+from repro.kernels.edit import edit_batch
 from repro.storage.page import PagedDataset, SequencePagedDataset
 
 __all__ = [
@@ -115,7 +115,8 @@ def make_text_joiner(
         # have equal length, so Hamming(a, b) >= ED(a, b): Hamming <= eps
         # accepts outright.  The converse rejection holds at eps <= 1 (one
         # edit between equal-length strings must be a substitution); above
-        # that, survivors fall through to the banded DP.
+        # that, survivors fall through to the batched banded DP
+        # (one kernel call per page pair, shared abandon threshold).
         local: List[Tuple[int, int]] = []
         dp_runs = 0
         if cand_a.size:
@@ -126,9 +127,14 @@ def make_text_joiner(
             for a, b in zip(cand_a[accepted].tolist(), cand_b[accepted].tolist()):
                 local.append((int(a), int(b)))
             if limit >= 2:
-                for a, b in zip(cand_a[~accepted].tolist(), cand_b[~accepted].tolist()):
-                    dp_runs += 1
-                    if edit_distance(r_windows[a], s_windows[b], max_dist=limit) <= epsilon:
+                rej_a, rej_b = cand_a[~accepted], cand_b[~accepted]
+                dp_runs = int(rej_a.size)
+                if dp_runs:
+                    dists = edit_batch(
+                        windows_r[r_start + rej_a], windows_s[s_start + rej_b], limit
+                    )
+                    survived = dists <= epsilon
+                    for a, b in zip(rej_a[survived].tolist(), rej_b[survived].tolist()):
                         local.append((int(a), int(b)))
 
         cheap = len(r_windows) * len(s_windows)

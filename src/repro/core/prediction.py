@@ -46,6 +46,11 @@ class PredictionMatrix:
         self._rows: Dict[int, Set[int]] = {}
         self._cols: Dict[int, Set[int]] = {}
         self._count = 0
+        # marked_rows()/marked_cols() are called inside loops by pm-NLJ
+        # and both clustering passes; cache the sorted views and
+        # invalidate on mutation instead of re-sorting every call.
+        self._rows_cache: "List[int] | None" = None
+        self._cols_cache: "List[int] | None" = None
 
     # -- mutation ------------------------------------------------------------
 
@@ -55,6 +60,10 @@ class PredictionMatrix:
         row_set = self._rows.setdefault(row, set())
         if col in row_set:
             return
+        if not row_set:  # a freshly created row changes the marked-row set
+            self._rows_cache = None
+        if col not in self._cols:
+            self._cols_cache = None
         row_set.add(col)
         self._cols.setdefault(col, set()).add(row)
         self._count += 1
@@ -67,9 +76,11 @@ class PredictionMatrix:
             raise KeyError(f"entry ({row}, {col}) is not marked") from None
         if not self._rows[row]:
             del self._rows[row]
+            self._rows_cache = None
         self._cols[col].remove(row)
         if not self._cols[col]:
             del self._cols[col]
+            self._cols_cache = None
         self._count -= 1
 
     def keep_upper_triangle(self) -> None:
@@ -99,12 +110,24 @@ class PredictionMatrix:
         return self._count
 
     def marked_rows(self) -> List[int]:
-        """Sorted rows that contain at least one marked entry."""
-        return sorted(self._rows)
+        """Sorted rows that contain at least one marked entry.
+
+        The returned list is cached until the marked-row set changes;
+        callers must treat it as read-only.
+        """
+        if self._rows_cache is None:
+            self._rows_cache = sorted(self._rows)
+        return self._rows_cache
 
     def marked_cols(self) -> List[int]:
-        """Sorted columns that contain at least one marked entry."""
-        return sorted(self._cols)
+        """Sorted columns that contain at least one marked entry.
+
+        The returned list is cached until the marked-column set changes;
+        callers must treat it as read-only.
+        """
+        if self._cols_cache is None:
+            self._cols_cache = sorted(self._cols)
+        return self._cols_cache
 
     def row_cols(self, row: int) -> List[int]:
         """Sorted marked columns of ``row`` (empty if none)."""

@@ -24,6 +24,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.geometry import Rect
+from repro.kernels.dtw import batch_envelopes, dtw_batch, lb_keogh_block
 
 __all__ = ["dtw_distance", "envelope", "envelope_box", "DTWDistance"]
 
@@ -143,30 +144,26 @@ class DTWDistance:
     ) -> List[Tuple[int, int]]:
         """Envelope-filtered exact DTW join of two window arrays.
 
-        Cheap stage: LB_Keogh-style bound — per-position gap of each left
-        window against the right window's band envelope — computed with
-        numpy over all pairs; the DP only runs on survivors.
+        Cheap stage: LB_Keogh — per-position gap of each left window
+        against the right windows' band envelopes, computed over whole
+        window blocks at once.  Survivors go through the batched banded
+        DP (:func:`repro.kernels.dtw.dtw_batch`) in one call with
+        ``epsilon`` as the shared early-abandon threshold.
         """
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
         left_arr = np.atleast_2d(np.asarray(left, dtype=np.float64))
         right_arr = np.atleast_2d(np.asarray(right, dtype=np.float64))
-        lowers = np.empty_like(right_arr)
-        uppers = np.empty_like(right_arr)
-        for k in range(right_arr.shape[0]):
-            lowers[k], uppers[k] = envelope(right_arr[k], self.band)
-        # gap[i, k, t] = distance of left[i, t] outside right k's envelope.
-        gap = np.maximum(
-            np.maximum(lowers[None, :, :] - left_arr[:, None, :], 0.0),
-            np.maximum(left_arr[:, None, :] - uppers[None, :, :], 0.0),
+        lowers, uppers = batch_envelopes(right_arr, self.band)
+        keogh = lb_keogh_block(left_arr, lowers, uppers)
+        cand_i, cand_k = np.nonzero(keogh <= epsilon)
+        if cand_i.size == 0:
+            return []
+        dists = dtw_batch(
+            left_arr[cand_i], right_arr[cand_k], self.band, max_dist=epsilon
         )
-        keogh = np.sqrt(np.sum(gap * gap, axis=2))
-        candidates = np.nonzero(keogh <= epsilon)
-        pairs: List[Tuple[int, int]] = []
-        for i, k in zip(candidates[0].tolist(), candidates[1].tolist()):
-            if dtw_distance(left_arr[i], right_arr[k], self.band, max_dist=epsilon) <= epsilon:
-                pairs.append((i, k))
-        return pairs
+        keep = dists <= epsilon
+        return list(zip(cand_i[keep].tolist(), cand_k[keep].tolist()))
 
     def __repr__(self) -> str:
         return f"DTWDistance(band={self.band})"

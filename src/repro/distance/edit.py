@@ -13,6 +13,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels.edit import edit_batch, encode_strings
+
 __all__ = ["edit_distance", "EditDistance"]
 
 
@@ -98,6 +100,20 @@ class EditDistance:
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
         limit = int(epsilon)
+        if not left or not right:
+            return []
+        widths = {len(s) for s in left} | {len(t) for t in right}
+        if len(widths) == 1:
+            # Window joins: equal-length strings, one batched DP call over
+            # the whole cross product with a shared abandon threshold.
+            left_codes = encode_strings(list(left))
+            right_codes = encode_strings(list(right))
+            cand_i, cand_j = np.divmod(
+                np.arange(len(left) * len(right)), len(right)
+            )
+            dists = edit_batch(left_codes[cand_i], right_codes[cand_j], limit)
+            keep = dists <= epsilon
+            return list(zip(cand_i[keep].tolist(), cand_j[keep].tolist()))
         pairs: List[Tuple[int, int]] = []
         for i, s in enumerate(left):
             for j, t in enumerate(right):

@@ -1,8 +1,10 @@
 """Minkowski (L_p) distances over float vectors.
 
 These serve point data, spatial data and time-series windows (Table 1 of
-the paper).  Pairwise evaluation is vectorised with numpy and chunked so a
-page-pair join never materialises more than a bounded temporary.
+the paper).  Pairwise evaluation routes through the batched kernel layer
+(:mod:`repro.kernels.minkowski`): a Gram-matrix prefilter plus exact
+refine for p = 2, chunked difference tensors otherwise, so a page-pair
+join never materialises more than a bounded temporary.
 """
 
 from __future__ import annotations
@@ -10,6 +12,8 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 import numpy as np
+
+from repro.kernels.minkowski import minkowski_pairs, minkowski_pairwise
 
 __all__ = [
     "MinkowskiDistance",
@@ -47,13 +51,15 @@ class MinkowskiDistance:
         return float(np.sum(diff**self.p) ** (1.0 / self.p))
 
     def pairwise(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        """Full ``(len(left), len(right))`` distance matrix."""
-        left_arr = np.atleast_2d(np.asarray(left, dtype=np.float64))
-        right_arr = np.atleast_2d(np.asarray(right, dtype=np.float64))
-        diff = np.abs(left_arr[:, None, :] - right_arr[None, :, :])
-        if np.isinf(self.p):
-            return diff.max(axis=2)
-        return np.sum(diff**self.p, axis=2) ** (1.0 / self.p)
+        """Full ``(len(left), len(right))`` distance matrix.
+
+        For p = 2 this runs the Gram-matrix form (one matmul, no
+        ``(n, m, d)`` temporary); other orders chunk the difference
+        tensor to ``_CHUNK_ROWS`` left rows at a time.  Threshold tests
+        should use :meth:`pairs_within`, which refines the Gram filter's
+        candidates exactly.
+        """
+        return minkowski_pairwise(left, right, self.p, chunk_rows=_CHUNK_ROWS)
 
     def pairs_within(
         self,
@@ -63,27 +69,10 @@ class MinkowskiDistance:
     ) -> List[Tuple[int, int]]:
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-        left_arr = np.atleast_2d(np.asarray(left, dtype=np.float64))
-        right_arr = np.atleast_2d(np.asarray(right, dtype=np.float64))
-        pairs: List[Tuple[int, int]] = []
-        for start in range(0, left_arr.shape[0], _CHUNK_ROWS):
-            chunk = left_arr[start : start + _CHUNK_ROWS]
-            dists = self._pairwise_chunk(chunk, right_arr)
-            rows, cols = np.nonzero(dists <= epsilon)
-            pairs.extend(zip((rows + start).tolist(), cols.tolist()))
-        return pairs
-
-    def _pairwise_chunk(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        # Deliberately no ||a||^2 + ||b||^2 - 2ab fast path: its rounding
-        # error makes identical points nonzero-distant, which breaks
-        # epsilon = 0 joins.  Page payloads are small enough that the exact
-        # difference tensor is cheap.
-        diff = np.abs(left[:, None, :] - right[None, :, :])
-        if np.isinf(self.p):
-            return diff.max(axis=2)
-        if self.p == 2.0:
-            return np.sqrt(np.sum(diff * diff, axis=2))
-        return np.sum(diff**self.p, axis=2) ** (1.0 / self.p)
+        # The kernel's Gram prefilter never decides acceptance: every
+        # candidate is re-evaluated with the exact difference form, so
+        # epsilon = 0 joins still see identical points at distance zero.
+        return minkowski_pairs(left, right, epsilon, self.p, chunk_rows=_CHUNK_ROWS)
 
     def __repr__(self) -> str:
         return f"MinkowskiDistance(p={self.p})"

@@ -51,13 +51,17 @@ def subsequence_join(
     p: float = 2.0,
     dtw_band: Optional[int] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> SubsequenceJoinResult:
     """Find all window pairs of length ``window_length`` within ``epsilon``.
 
     Pass ``second=None`` (or the same object) for a self join; the result
     then contains each unordered offset pair once, self matches excluded.
     For numeric sequences, ``dtw_band`` switches the distance from the
-    L_p norm to banded dynamic time warping.
+    L_p norm to banded dynamic time warping.  ``workers`` parallelises
+    cluster execution for the clustering methods (see
+    :func:`repro.core.join.join`); results and simulated I/O are
+    identical to the serial run.
 
     Examples
     --------
@@ -82,6 +86,7 @@ def subsequence_join(
         buffer_pages=buffer_pages,
         cost_model=cost_model,
         seed=seed,
+        workers=workers,
     )
     return SubsequenceJoinResult(
         offsets=result.pairs,

@@ -107,3 +107,62 @@ class TestCopyAndTriangle:
         assert m.num_marked == 10  # 4 diagonal + 6 upper
         for row, col in m.entries():
             assert row <= col
+
+
+class TestMarkedSetCaching:
+    """marked_rows()/marked_cols() cache until the marked set changes."""
+
+    def test_cache_reused_between_calls(self):
+        m = PredictionMatrix(5, 5)
+        m.mark(3, 1)
+        m.mark(0, 4)
+        assert m.marked_rows() is m.marked_rows()
+        assert m.marked_cols() is m.marked_cols()
+
+    def test_mark_invalidates_only_on_new_row_or_col(self):
+        m = PredictionMatrix(5, 5)
+        m.mark(2, 2)
+        rows, cols = m.marked_rows(), m.marked_cols()
+        m.mark(2, 2)  # idempotent re-mark: nothing changes
+        assert m.marked_rows() is rows
+        m.mark(2, 3)  # same row, new column
+        assert m.marked_rows() is rows
+        assert m.marked_cols() == [2, 3]
+        m.mark(4, 3)  # new row, existing column
+        assert m.marked_rows() == [2, 4]
+
+    def test_unmark_invalidates_when_set_shrinks(self):
+        m = PredictionMatrix(5, 5)
+        m.mark(1, 1)
+        m.mark(1, 2)
+        m.mark(3, 2)
+        assert m.marked_rows() == [1, 3]
+        m.unmark(1, 1)  # row 1 still has (1, 2); col 1 disappears
+        assert m.marked_rows() == [1, 3]
+        assert m.marked_cols() == [2]
+        m.unmark(1, 2)
+        assert m.marked_rows() == [3]
+
+    def test_keep_upper_triangle_refreshes_caches(self):
+        m = PredictionMatrix(4, 4)
+        for row in range(4):
+            for col in range(4):
+                m.mark(row, col)
+        m.marked_rows(), m.marked_cols()
+        m.keep_upper_triangle()
+        assert m.marked_rows() == [0, 1, 2, 3]
+        m2 = PredictionMatrix(3, 3)
+        m2.mark(2, 0)
+        m2.marked_rows()
+        m2.keep_upper_triangle()
+        assert m2.marked_rows() == []
+        assert m2.marked_cols() == []
+
+    def test_copy_does_not_share_cache(self):
+        m = PredictionMatrix(4, 4)
+        m.mark(1, 1)
+        cached = m.marked_rows()
+        dup = m.copy()
+        dup.mark(2, 2)
+        assert m.marked_rows() is cached
+        assert dup.marked_rows() == [1, 2]
