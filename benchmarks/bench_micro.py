@@ -19,7 +19,9 @@ from repro.core.costcluster import cost_clustering
 from repro.core.join import IndexedDataset, join
 from repro.core.square import square_clustering
 from repro.core.sweep import build_prediction_matrix
+from repro.core.sweep_reference import build_prediction_matrix_reference
 from repro.datasets import markov_dna, road_intersections
+from repro.datasets.landsat import landsat_like
 from repro.distance.dtw import dtw_distance
 from repro.distance.edit import edit_distance
 from repro.distance.frequency import frequency_vectors_sliding
@@ -202,6 +204,70 @@ def test_minkowski_gram_filter_speedup(record_json):
         },
     )
     assert ref_s / kern_s > 1.0
+
+
+# -- matrix construction (ISSUE 2) -------------------------------------------------
+#
+# The prediction-matrix build: the scalar reference pipeline (per-Rect
+# event sweep + Rect-list iterative filter, frozen in
+# ``repro.core.sweep_reference``) versus the struct-of-arrays block
+# sweep, on identical hierarchies.  Marks and stats must agree exactly;
+# the acceptance bar is a >= 5x speedup on the 64-page/16-dim workload.
+# Quick mode shrinks repeats, never the workload, so the recorded
+# speedups stay comparable across runs.
+
+
+def test_matrix_build_speedup(record_json):
+    repeats = 1 if QUICK else 3
+    pages, capacity = 64, 32
+    # 2-d: uniform points (roads regime); 16/64-d: landsat-like correlated
+    # features — high-d uniform data saturates the matrix (curse of
+    # dimensionality), which would benchmark a degenerate all-pairs case.
+    workloads = [
+        (2, 0.05, "uniform"),
+        (16, 0.25, "landsat"),
+        (64, 0.45, "landsat"),
+    ]
+    rng = np.random.default_rng(7)
+    rows = {}
+    for dim, epsilon, generator in workloads:
+        if generator == "uniform":
+            pts_r = rng.random((pages * capacity, dim))
+            pts_s = rng.random((pages * capacity, dim))
+        else:
+            pts_r = landsat_like(pages * capacity, dim=dim, seed=1)
+            pts_s = landsat_like(pages * capacity, dim=dim, seed=2)
+        r = IndexedDataset.from_points(pts_r, page_capacity=capacity)
+        s = IndexedDataset.from_points(pts_s, page_capacity=capacity)
+        args = (r.index.root, s.index.root, epsilon, r.num_pages, s.num_pages)
+        ref_s, (ref_matrix, ref_stats) = _best_of(
+            lambda: build_prediction_matrix_reference(*args), repeats
+        )
+        vec_s, (vec_matrix, vec_stats) = _best_of(
+            lambda: build_prediction_matrix(*args), repeats
+        )
+        assert vec_matrix == ref_matrix
+        assert vec_stats == ref_stats
+        rows[str(dim)] = {
+            "dim": dim,
+            "epsilon": epsilon,
+            "generator": generator,
+            "marked": vec_matrix.num_marked,
+            "density": vec_matrix.density(),
+            "sweep_operations": vec_stats.total_operations,
+            "reference_seconds": ref_s,
+            "vectorized_seconds": vec_s,
+            "speedup": ref_s / vec_s,
+        }
+    record_json(
+        "matrix_build",
+        {"pages_per_side": pages, "page_capacity": capacity, "rows": rows},
+    )
+    # Acceptance: >= 5x on the 64-page/16-dim workload; the others must
+    # at least clearly beat the scalar pipeline.
+    assert rows["16"]["speedup"] >= 5.0
+    assert rows["2"]["speedup"] >= 2.0
+    assert rows["64"]["speedup"] >= 2.0
 
 
 def test_parallel_cluster_execution(record_json):

@@ -1,0 +1,83 @@
+"""Compare a freshly generated ``BENCH_micro.json`` against a baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json FRESH.json
+
+Only dimensionless ``speedup`` ratios are compared — they measure the
+vectorized/batched implementation against its scalar reference *on the
+same machine in the same run*, so they are stable across hardware in a
+way absolute seconds are not.  A kernel counts as regressed when its
+fresh speedup falls below half the committed baseline, or when a
+baseline row disappeared from the fresh file entirely.
+
+``parallel_cluster_execution`` is deliberately excluded: its speedup is
+serial-vs-workers wall clock and depends on the host's core count.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+# Sections whose ``speedup`` ratios are machine-independent contracts.
+CHECKED_SECTIONS = ("refinement_kernels", "minkowski_gram_filter", "matrix_build")
+MAX_SLOWDOWN = 2.0
+
+
+def collect_speedups(section, prefix):
+    """Flatten every key named ``speedup`` under ``section`` to ``{path: value}``."""
+    found = {}
+    if isinstance(section, dict):
+        for key, value in section.items():
+            if key == "speedup" and isinstance(value, (int, float)):
+                found[prefix] = float(value)
+            else:
+                found.update(collect_speedups(value, f"{prefix}.{key}"))
+    return found
+
+
+def load_speedups(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    found = {}
+    for name in CHECKED_SECTIONS:
+        if name in data:
+            found.update(collect_speedups(data[name], name))
+    return found
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load_speedups(argv[1])
+    fresh = load_speedups(argv[2])
+
+    failures = []
+    for path, base in sorted(baseline.items()):
+        got = fresh.get(path)
+        if got is None:
+            failures.append(f"{path}: present in baseline ({base:.2f}x) but missing")
+            continue
+        status = "FAIL" if got < base / MAX_SLOWDOWN else "ok"
+        print(f"{status:4} {path}: baseline {base:.2f}x -> fresh {got:.2f}x")
+        if got < base / MAX_SLOWDOWN:
+            failures.append(
+                f"{path}: speedup fell {base:.2f}x -> {got:.2f}x "
+                f"(more than {MAX_SLOWDOWN}x regression)"
+            )
+    for path in sorted(set(fresh) - set(baseline)):
+        print(f"new  {path}: {fresh[path]:.2f}x (no baseline)")
+
+    if failures:
+        print("\nBench regression detected:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"\nAll {len(baseline)} benchmarked speedups within {MAX_SLOWDOWN}x of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,4 +1,4 @@
-"""Iterative MBR filtering (Section 5.1, Figure 2).
+"""Iterative MBR filtering (Section 5.1, Figure 2), struct-of-arrays edition.
 
 Given two sets of child MBRs under a pair of index nodes, filter out the
 children that cannot participate in any intersecting pair.  One round:
@@ -16,16 +16,23 @@ at least as selective as the Brinkhoff et al. filter, which keeps
 everything intersecting ``I`` — setting ``max_rounds=1`` with the ``B_RS``
 test replaced by ``I`` reproduces their filter exactly (exposed as
 ``brinkhoff_filter`` for the ablation benchmark).
+
+Both filters run each round as whole-array operations on ``(n, d)``
+``lo``/``hi`` blocks — no per-child ``Rect`` objects, no ``Rect | None``
+working lists.  Covering boxes are never recomputed from scratch: callers
+that already hold a tight cover (the plane-sweep descent holds the parent
+MBR) pass it via ``cover_left``/``cover_right`` for round 1, and each
+round hands the covers of its freshly clipped survivors to the next round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.geometry import Rect, union_all
+from repro.geometry import BoxArray, Rect, as_box_array
 
 __all__ = ["FilterOutcome", "iterative_filter", "brinkhoff_filter"]
 
@@ -59,120 +66,155 @@ def _empty_outcome(n_left: int, n_right: int, rounds: int) -> FilterOutcome:
 
 
 def iterative_filter(
-    left: Sequence[Rect],
-    right: Sequence[Rect],
+    left: "BoxArray | Iterable[Rect]",
+    right: "BoxArray | Iterable[Rect]",
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    cover_left: Optional[Rect] = None,
+    cover_right: Optional[Rect] = None,
 ) -> FilterOutcome:
-    """Run the paper's iterative filter over two child-MBR lists.
+    """Run the paper's iterative filter over two child-MBR sets.
 
     The inputs are the (already ε/2-extended) child boxes of two index
-    nodes.  Children whose mask is ``False`` cannot intersect any child on
-    the other side and are excluded from the plane sweep.
+    nodes, as a :class:`BoxArray` or any iterable of :class:`Rect`.
+    Children whose mask is ``False`` cannot intersect any child on the
+    other side and are excluded from the plane sweep.
+
+    ``cover_left``/``cover_right`` are optional *tight* covering boxes of
+    the inputs (their exact unions).  The sweep descent passes the parent
+    MBRs here, which saves the first round's union reduction; a loose
+    cover would weaken round 1, so callers must only pass exact unions.
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be at least 1, got {max_rounds}")
-    n_left, n_right = len(left), len(right)
+    boxes_left = as_box_array(left)
+    boxes_right = as_box_array(right)
+    n_left, n_right = len(boxes_left), len(boxes_right)
     if n_left == 0 or n_right == 0:
         return _empty_outcome(n_left, n_right, rounds=0)
 
-    # Clipped working copies; None marks a filtered-out child.
-    work_left: List[Rect | None] = list(left)
-    work_right: List[Rect | None] = list(right)
+    # Clipped working copies; alive_* mask filtered-out children.
+    lo_l, hi_l = boxes_left.lo.copy(), boxes_left.hi.copy()
+    lo_r, hi_r = boxes_right.lo.copy(), boxes_right.hi.copy()
+    alive_l = np.ones(n_left, dtype=bool)
+    alive_r = np.ones(n_right, dtype=bool)
+    cov_l = _initial_cover(boxes_left, cover_left)
+    cov_r = _initial_cover(boxes_right, cover_right)
+
     rounds = 0
     for _ in range(max_rounds):
         rounds += 1
-        changed = _filter_round(work_left, work_right)
-        if not _any_alive(work_left) or not _any_alive(work_right):
+        # Step 1: I = intersection of the covering MBRs.
+        i_lo = np.maximum(cov_l[0], cov_r[0])
+        i_hi = np.minimum(cov_l[1], cov_r[1])
+        if np.any(i_lo > i_hi):
             return _empty_outcome(n_left, n_right, rounds)
-        if not changed:
+        # Step 2: B_R / B_S — cover of the alive children clipped to I.
+        bound_l = _clip_cover(lo_l, hi_l, alive_l, i_lo, i_hi)
+        bound_r = _clip_cover(lo_r, hi_r, alive_r, i_lo, i_hi)
+        if bound_l is None or bound_r is None:
+            return _empty_outcome(n_left, n_right, rounds)
+        # Step 3: B_RS = B_R ∩ B_S.
+        j_lo = np.maximum(bound_l[0], bound_r[0])
+        j_hi = np.minimum(bound_l[1], bound_r[1])
+        if np.any(j_lo > j_hi):
+            return _empty_outcome(n_left, n_right, rounds)
+        # Step 4: drop children missing B_RS, clip survivors to it.  The
+        # survivors' covers fall out of the same pass and carry over as the
+        # next round's covers — union_all never runs from scratch again.
+        changed_l, cov_l = _clip_side(lo_l, hi_l, alive_l, j_lo, j_hi)
+        changed_r, cov_r = _clip_side(lo_r, hi_r, alive_r, j_lo, j_hi)
+        if not alive_l.any() or not alive_r.any():
+            return _empty_outcome(n_left, n_right, rounds)
+        if not (changed_l or changed_r):
             break
-    return FilterOutcome(
-        keep_left=np.asarray([box is not None for box in work_left], dtype=bool),
-        keep_right=np.asarray([box is not None for box in work_right], dtype=bool),
-        rounds=rounds,
-    )
+    return FilterOutcome(keep_left=alive_l, keep_right=alive_r, rounds=rounds)
 
 
-def brinkhoff_filter(left: Sequence[Rect], right: Sequence[Rect]) -> FilterOutcome:
+def brinkhoff_filter(
+    left: "BoxArray | Iterable[Rect]",
+    right: "BoxArray | Iterable[Rect]",
+    cover_left: Optional[Rect] = None,
+    cover_right: Optional[Rect] = None,
+) -> FilterOutcome:
     """The Brinkhoff et al. baseline filter: keep children meeting R ∩ S.
 
     Used by the filter-depth ablation; guaranteed never stronger than one
-    round of :func:`iterative_filter` (``B_RS ⊆ I``).
+    round of :func:`iterative_filter` (``B_RS ⊆ I``).  As above, callers
+    holding the parents' MBRs pass them as the (exact-union) covers
+    instead of having them re-reduced here.
     """
-    n_left, n_right = len(left), len(right)
+    boxes_left = as_box_array(left)
+    boxes_right = as_box_array(right)
+    n_left, n_right = len(boxes_left), len(boxes_right)
     if n_left == 0 or n_right == 0:
         return _empty_outcome(n_left, n_right, rounds=0)
-    cover_left = union_all(left)
-    cover_right = union_all(right)
-    overlap = cover_left.intersection(cover_right)
-    if overlap is None:
+    cov_l = _initial_cover(boxes_left, cover_left)
+    cov_r = _initial_cover(boxes_right, cover_right)
+    i_lo = np.maximum(cov_l[0], cov_r[0])
+    i_hi = np.minimum(cov_l[1], cov_r[1])
+    if np.any(i_lo > i_hi):
         return _empty_outcome(n_left, n_right, rounds=1)
     return FilterOutcome(
-        keep_left=np.asarray([box.intersects(overlap) for box in left], dtype=bool),
-        keep_right=np.asarray([box.intersects(overlap) for box in right], dtype=bool),
+        keep_left=_intersects_box(boxes_left.lo, boxes_left.hi, i_lo, i_hi),
+        keep_right=_intersects_box(boxes_right.lo, boxes_right.hi, i_lo, i_hi),
         rounds=1,
     )
 
 
-def _any_alive(boxes: List[Rect | None]) -> bool:
-    return any(box is not None for box in boxes)
+# -- whole-array round primitives --------------------------------------------------
+
+Cover = Tuple[np.ndarray, np.ndarray]
 
 
-def _kill_all(boxes: List[Rect | None]) -> None:
-    """Mark every child filtered out (covers became disjoint)."""
-    for k in range(len(boxes)):
-        boxes[k] = None
+def _initial_cover(boxes: BoxArray, cover: Optional[Rect]) -> Cover:
+    if cover is not None:
+        return cover.lo, cover.hi
+    return boxes.lo.min(axis=0), boxes.hi.max(axis=0)
 
 
-def _filter_round(work_left: List[Rect | None], work_right: List[Rect | None]) -> bool:
-    """One refinement round in place; returns True when anything changed."""
-    alive_left = [box for box in work_left if box is not None]
-    alive_right = [box for box in work_right if box is not None]
-    cover_left = union_all(alive_left)
-    cover_right = union_all(alive_right)
-    overlap = cover_left.intersection(cover_right)
-    if overlap is None:
-        _kill_all(work_left)
-        _kill_all(work_right)
-        return True
-
-    bound_left = _covering_of_clips(alive_left, overlap)
-    bound_right = _covering_of_clips(alive_right, overlap)
-    if bound_left is None or bound_right is None:
-        _kill_all(work_left)
-        _kill_all(work_right)
-        return True
-    joint = bound_left.intersection(bound_right)
-    if joint is None:
-        _kill_all(work_left)
-        _kill_all(work_right)
-        return True
-
-    changed = _clip_side(work_left, joint)
-    changed |= _clip_side(work_right, joint)
-    return changed
+def _intersects_box(
+    lo: np.ndarray, hi: np.ndarray, box_lo: np.ndarray, box_hi: np.ndarray
+) -> np.ndarray:
+    return np.all(lo <= box_hi, axis=1) & np.all(box_lo <= hi, axis=1)
 
 
-def _covering_of_clips(boxes: List[Rect], region: Rect) -> Rect | None:
-    """MBR covering ``region ∩ box`` over boxes that meet ``region``."""
-    clips = [box.intersection(region) for box in boxes]
-    alive = [clip for clip in clips if clip is not None]
-    if not alive:
+def _clip_cover(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    alive: np.ndarray,
+    region_lo: np.ndarray,
+    region_hi: np.ndarray,
+) -> Optional[Cover]:
+    """Cover of ``region ∩ box`` over alive boxes meeting ``region``."""
+    c_lo = np.maximum(lo, region_lo)
+    c_hi = np.minimum(hi, region_hi)
+    meets = alive & np.all(c_lo <= c_hi, axis=1)
+    if not meets.any():
         return None
-    return union_all(alive)
+    return c_lo[meets].min(axis=0), c_hi[meets].max(axis=0)
 
 
-def _clip_side(work: List[Rect | None], joint: Rect) -> bool:
-    """Drop children missing ``joint``; clip survivors to it."""
-    changed = False
-    for k, box in enumerate(work):
-        if box is None:
-            continue
-        clipped = box.intersection(joint)
-        if clipped is None:
-            work[k] = None
-            changed = True
-        elif clipped != box:
-            work[k] = clipped
-            changed = True
-    return changed
+def _clip_side(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    alive: np.ndarray,
+    joint_lo: np.ndarray,
+    joint_hi: np.ndarray,
+) -> Tuple[bool, Cover]:
+    """Clip one side to ``B_RS`` in place; returns (changed, survivors' cover).
+
+    The returned cover is meaningless when nothing survives — the caller
+    checks ``alive`` first.
+    """
+    n_lo = np.maximum(lo, joint_lo)
+    n_hi = np.minimum(hi, joint_hi)
+    survives = alive & np.all(n_lo <= n_hi, axis=1)
+    dropped = alive & ~survives
+    clipped = survives & (np.any(n_lo != lo, axis=1) | np.any(n_hi != hi, axis=1))
+    lo[survives] = n_lo[survives]
+    hi[survives] = n_hi[survives]
+    alive &= survives
+    if not survives.any():
+        return True, (joint_lo, joint_hi)
+    cover = (n_lo[survives].min(axis=0), n_hi[survives].max(axis=0))
+    return bool(dropped.any() or clipped.any()), cover

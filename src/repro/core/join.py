@@ -282,6 +282,7 @@ def join(
     count_only: bool = False,
     buffer_policy: str = "lru",
     workers: int = 1,
+    matrix_cache: "str | Path | None" = None,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -310,6 +311,15 @@ def join(
         only; other methods ignore it).  Clusters are independent units
         of work, so their page-pair joins run concurrently; simulated
         I/O counts and the result are identical to ``workers=1``.
+    matrix_cache:
+        Directory of the prediction-matrix cache.  When set, the matrix
+        is loaded from the cache if a build keyed by (both datasets'
+        structural fingerprints, ε, ``max_filter_rounds``) was saved
+        before — skipping the sweep entirely, with zero sweep operations
+        charged — and is saved there after a fresh build otherwise.
+        Competitor methods (which build no matrix) ignore it.  See
+        :func:`repro.storage.persist.invalidate_matrix_cache` to clear
+        entries.
     """
     if method not in JOIN_METHODS:
         raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
@@ -331,13 +341,8 @@ def join(
             method, r, s, epsilon, pool, joiner, model, self_join, not count_only
         )
 
-    matrix, sweep_stats = build_prediction_matrix(
-        r.index.root,
-        s.index.root,
-        epsilon,
-        r.num_pages,
-        s.num_pages,
-        max_filter_rounds=max_filter_rounds,
+    matrix, sweep_stats, cache_state = _build_or_load_matrix(
+        r, s, epsilon, max_filter_rounds, matrix_cache
     )
     if self_join:
         matrix.keep_upper_triangle()
@@ -368,6 +373,7 @@ def join(
         extra={
             "marked_entries": matrix.num_marked,
             "matrix_density": matrix.density(),
+            "matrix_cache": cache_state,
             "num_clusters": len(clusters) if clusters is not None else 0,
         },
     )
@@ -380,6 +386,49 @@ def join(
 
 
 # -- internals --------------------------------------------------------------------
+
+
+def _build_or_load_matrix(
+    r: IndexedDataset,
+    s: IndexedDataset,
+    epsilon: float,
+    max_filter_rounds: int,
+    matrix_cache: "str | Path | None",
+):
+    """The prediction matrix plus its sweep stats and cache disposition.
+
+    A cache hit returns an all-zero ``SweepStats`` — no sweep ran, so no
+    sweep operations may be charged to the CPU cost model.  The cached
+    artefact is the raw build output; self-join triangle reduction is the
+    caller's responsibility (so one entry serves self- and cross-joins).
+    """
+    from repro.storage.persist import (
+        dataset_fingerprint,
+        load_matrix,
+        matrix_cache_key,
+        save_matrix,
+    )
+
+    if matrix_cache is None:
+        matrix, sweep_stats = build_prediction_matrix(
+            r.index.root, s.index.root, epsilon,
+            r.num_pages, s.num_pages, max_filter_rounds=max_filter_rounds,
+        )
+        return matrix, sweep_stats, "off"
+    key = matrix_cache_key(
+        dataset_fingerprint(r), dataset_fingerprint(s), epsilon, max_filter_rounds
+    )
+    matrix = load_matrix(matrix_cache, key)
+    if matrix is not None:
+        from repro.core.sweep import SweepStats
+
+        return matrix, SweepStats(), "hit"
+    matrix, sweep_stats = build_prediction_matrix(
+        r.index.root, s.index.root, epsilon,
+        r.num_pages, s.num_pages, max_filter_rounds=max_filter_rounds,
+    )
+    save_matrix(matrix, matrix_cache, key)
+    return matrix, sweep_stats, "miss"
 
 
 def _make_joiner(r, s, epsilon, model, self_join, collect_pairs):

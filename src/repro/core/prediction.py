@@ -68,6 +68,50 @@ class PredictionMatrix:
         self._cols.setdefault(col, set()).add(row)
         self._count += 1
 
+    def mark_many(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Mark a batch of ``(rows[k], cols[k])`` entries; idempotent.
+
+        The block sweep produces leaf pairs as index arrays; this marks
+        them with one bounds check for the whole batch and without the
+        per-entry method dispatch of :meth:`mark`.
+        """
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError(
+                f"rows and cols must be 1-d arrays of equal length, "
+                f"got shapes {rows.shape} and {cols.shape}"
+            )
+        if rows.size == 0:
+            return
+        if (
+            rows.min() < 0
+            or rows.max() >= self.num_rows
+            or cols.min() < 0
+            or cols.max() >= self.num_cols
+        ):
+            raise IndexError(
+                f"batch contains entries outside matrix {self.num_rows}x{self.num_cols}"
+            )
+        row_sets = self._rows
+        col_sets = self._cols
+        added = 0
+        for row, col in zip(rows.tolist(), cols.tolist()):
+            row_set = row_sets.get(row)
+            if row_set is None:
+                row_set = row_sets[row] = set()
+                self._rows_cache = None
+            elif col in row_set:
+                continue
+            row_set.add(col)
+            col_set = col_sets.get(col)
+            if col_set is None:
+                col_set = col_sets[col] = set()
+                self._cols_cache = None
+            col_set.add(row)
+            added += 1
+        self._count += added
+
     def unmark(self, row: int, col: int) -> None:
         """Remove a marked entry; raises ``KeyError`` if it is not marked."""
         try:
@@ -154,6 +198,32 @@ class PredictionMatrix:
         dup._cols = {col: set(rows) for col, rows in self._cols.items()}
         dup._count = self._count
         return dup
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Marked entries as ``(rows, cols)`` int64 arrays, row-major sorted.
+
+        The persistence format of the matrix cache: two flat coordinate
+        arrays, deterministic order, loadable with :meth:`from_coo`.
+        """
+        rows = np.empty(self._count, dtype=np.int64)
+        cols = np.empty(self._count, dtype=np.int64)
+        at = 0
+        for row in sorted(self._rows):
+            row_cols = sorted(self._rows[row])
+            stop = at + len(row_cols)
+            rows[at:stop] = row
+            cols[at:stop] = row_cols
+            at = stop
+        return rows, cols
+
+    @classmethod
+    def from_coo(
+        cls, num_rows: int, num_cols: int, rows: np.ndarray, cols: np.ndarray
+    ) -> "PredictionMatrix":
+        """Rebuild a matrix from :meth:`to_coo` output."""
+        matrix = cls(num_rows, num_cols)
+        matrix.mark_many(rows, cols)
+        return matrix
 
     def to_dense(self) -> np.ndarray:
         """Dense boolean array (small matrices / tests / visualisation)."""

@@ -9,19 +9,34 @@ intersection of ε/2-extended boxes is exactly the test "L∞ box distance
 ≤ ε", which lower-bounds every L_p object distance as well as the
 frequency/edit distance chain — hence Theorem 1 (no joining pair is ever
 missed).
+
+The sweep itself is a **block sweep** over struct-of-arrays geometry
+(:class:`~repro.geometry.BoxArray`): both sides are sorted by their
+dimension-0 lower edge once, each box's dimension-0 overlap partners are
+located with two ``np.searchsorted`` calls against the sorted starts, and
+the surviving candidate block is reduced with one vectorised
+remaining-dimension overlap mask.  No per-box event queue, no per-pair
+``intersects()`` calls.  The produced marks and every ``SweepStats``
+counter are identical to the original event sweep
+(``repro.core.sweep_reference``): ``endpoints_processed`` still counts
+two endpoints per swept box and ``intersection_tests`` still counts
+exactly the pairs whose dimension-0 intervals overlap — the block sweep
+merely finds them by binary search instead of by queue replay.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.filtering import DEFAULT_MAX_ROUNDS, iterative_filter
 from repro.core.prediction import PredictionMatrix
-from repro.geometry import Rect
+from repro.geometry import BoxArray, Rect
 from repro.index.node import IndexNode
 
-__all__ = ["SweepStats", "sweep_pairs", "build_prediction_matrix"]
+__all__ = ["SweepStats", "sweep_pairs", "block_sweep_pairs", "build_prediction_matrix"]
 
 
 @dataclass
@@ -46,53 +61,102 @@ class SweepStats:
         )
 
 
+def block_sweep_pairs(
+    left: BoxArray,
+    right: BoxArray,
+    stats: Optional[SweepStats] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All intersecting cross pairs of two box arrays, as index arrays.
+
+    Returns ``(i, j)`` with box ``left[i[k]]`` intersecting ``right[j[k]]``.
+    Boxes are closed: touching boxes count as intersecting.  Pairs appear
+    exactly once, in deterministic (but unspecified) order.
+
+    Dimension-0 candidates are found by sorted binary search.  A cross
+    pair overlaps in dimension 0 iff the later-starting box starts no
+    later than the other ends, so every overlapping pair is found exactly
+    once by two one-sided range queries against the sorted starts:
+
+    * right boxes starting within ``[left.lo0, left.hi0]`` (ties: a right
+      box starting exactly at a left start belongs here), and
+    * left boxes starting within ``(right.lo0, right.hi0]``.
+    """
+    n, m = len(left), len(right)
+    if stats is not None:
+        stats.endpoints_processed += 2 * (n + m)
+    if n == 0 or m == 0:
+        return _EMPTY_PAIRS
+    l_lo0, l_hi0 = left.lo[:, 0], left.hi[:, 0]
+    r_lo0, r_hi0 = right.lo[:, 0], right.hi[:, 0]
+    order_l = np.argsort(l_lo0, kind="stable")
+    order_r = np.argsort(r_lo0, kind="stable")
+    sorted_l_lo = l_lo0[order_l]
+    sorted_r_lo = r_lo0[order_r]
+
+    a_i, a_j = _expand_ranges(
+        np.searchsorted(sorted_r_lo, l_lo0, side="left"),
+        np.searchsorted(sorted_r_lo, l_hi0, side="right"),
+        order_r,
+    )
+    b_j, b_i = _expand_ranges(
+        np.searchsorted(sorted_l_lo, r_lo0, side="right"),
+        np.searchsorted(sorted_l_lo, r_hi0, side="right"),
+        order_l,
+    )
+    cand_i = np.concatenate([a_i, b_i])
+    cand_j = np.concatenate([a_j, b_j])
+    if stats is not None:
+        # Counted in blocks: one "test" per dimension-0-overlapping pair,
+        # exactly the pairs the event sweep tested one at a time.
+        stats.intersection_tests += cand_i.size
+    if left.dim > 1 and cand_i.size:
+        ok = np.all(left.lo[cand_i, 1:] <= right.hi[cand_j, 1:], axis=1)
+        ok &= np.all(right.lo[cand_j, 1:] <= left.hi[cand_i, 1:], axis=1)
+        cand_i = cand_i[ok]
+        cand_j = cand_j[ok]
+    return cand_i, cand_j
+
+
+_EMPTY_PAIRS = (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+)
+
+
+def _expand_ranges(
+    start: np.ndarray, end: np.ndarray, order: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-owner ``[start, end)`` ranges over ``order`` into pairs.
+
+    Returns ``(owners, members)``: owner ``k`` repeated ``end[k]-start[k]``
+    times alongside ``order[start[k]:end[k]]``.
+    """
+    counts = end - start
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_PAIRS
+    owners = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    members = order[np.repeat(start, counts) + within]
+    return owners, members
+
+
 def sweep_pairs(
     left: Sequence[Tuple[Rect, object]],
     right: Sequence[Tuple[Rect, object]],
-    stats: SweepStats | None = None,
+    stats: Optional[SweepStats] = None,
 ) -> Iterator[Tuple[object, object]]:
-    """Plane sweep over dimension 0 yielding intersecting cross pairs.
+    """Plane sweep over ``(box, payload)`` lists, yielding payload pairs.
 
-    ``left`` and ``right`` are ``(box, payload)`` lists.  Boxes are closed;
-    touching boxes count as intersecting (left endpoints are processed
-    before right endpoints at equal coordinates).
+    The scalar-friendly wrapper around :func:`block_sweep_pairs`; pairs
+    are yielded in (left index, right index) order.
     """
-    events: List[Tuple[float, int, int, int]] = []
-    for idx, (box, _payload) in enumerate(left):
-        events.append((float(box.lo[0]), 0, 0, idx))
-        events.append((float(box.hi[0]), 1, 0, idx))
-    for idx, (box, _payload) in enumerate(right):
-        events.append((float(box.lo[0]), 0, 1, idx))
-        events.append((float(box.hi[0]), 1, 1, idx))
-    events.sort()
-
-    active_left: dict[int, Tuple[Rect, object]] = {}
-    active_right: dict[int, Tuple[Rect, object]] = {}
-    for _coord, side_flag, which, idx in events:
-        if stats is not None:
-            stats.endpoints_processed += 1
-        if which == 0:
-            if side_flag == 1:
-                active_left.pop(idx, None)
-                continue
-            box, payload = left[idx]
-            active_left[idx] = (box, payload)
-            for other_box, other_payload in active_right.values():
-                if stats is not None:
-                    stats.intersection_tests += 1
-                if box.intersects(other_box):
-                    yield payload, other_payload
-        else:
-            if side_flag == 1:
-                active_right.pop(idx, None)
-                continue
-            box, payload = right[idx]
-            active_right[idx] = (box, payload)
-            for other_box, other_payload in active_left.values():
-                if stats is not None:
-                    stats.intersection_tests += 1
-                if other_box.intersects(box):
-                    yield other_payload, payload
+    boxes_l = BoxArray.from_rects([box for box, _payload in left])
+    boxes_r = BoxArray.from_rects([box for box, _payload in right])
+    idx_i, idx_j = block_sweep_pairs(boxes_l, boxes_r, stats)
+    for k in np.lexsort((idx_j, idx_i)):
+        yield left[idx_i[k]][1], right[idx_j[k]][1]
 
 
 def build_prediction_matrix(
@@ -114,54 +178,107 @@ def build_prediction_matrix(
     matrix = PredictionMatrix(num_rows, num_cols)
     stats = SweepStats()
     half = epsilon / 2.0
-    _descend([root_r], [root_s], half, matrix, stats, max_filter_rounds)
+    _descend(
+        _Group.of_single(root_r),
+        _Group.of_single(root_s),
+        half,
+        matrix,
+        stats,
+        max_filter_rounds,
+    )
     return matrix, stats
 
 
+class _Group:
+    """One side of a descent level: sibling nodes in struct-of-arrays form.
+
+    ``cover`` is the tight union of ``bounds`` — for children groups it is
+    cached on the parent node, so the filter never re-reduces it.
+    """
+
+    __slots__ = ("nodes", "bounds", "leaf_mask", "pages", "cover")
+
+    def __init__(self, nodes, bounds, leaf_mask, pages, cover):
+        self.nodes = nodes
+        self.bounds = bounds
+        self.leaf_mask = leaf_mask
+        self.pages = pages
+        self.cover = cover
+
+    @classmethod
+    def of_single(cls, node: IndexNode) -> "_Group":
+        return cls(
+            nodes=[node],
+            bounds=BoxArray.from_rect(node.box),
+            leaf_mask=np.asarray([node.is_leaf]),
+            pages=np.asarray([node.page_no if node.page_no is not None else -1]),
+            cover=node.box,
+        )
+
+    @classmethod
+    def of_children(cls, node: IndexNode) -> "_Group":
+        """The node's children — or the node itself when it is a leaf."""
+        if node.is_leaf:
+            return cls.of_single(node)
+        return cls(
+            nodes=node.children,
+            bounds=node.children_bounds(),
+            leaf_mask=node.children_leaf_mask(),
+            pages=node.children_pages(),
+            cover=node.children_cover(),
+        )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
 def _descend(
-    nodes_r: List[IndexNode],
-    nodes_s: List[IndexNode],
+    group_r: _Group,
+    group_s: _Group,
     half_epsilon: float,
     matrix: PredictionMatrix,
     stats: SweepStats,
     max_filter_rounds: int,
 ) -> None:
-    extended_r = [node.box.extend(half_epsilon) for node in nodes_r]
-    extended_s = [node.box.extend(half_epsilon) for node in nodes_s]
+    extended_r = group_r.bounds.extend(half_epsilon)
+    extended_s = group_s.bounds.extend(half_epsilon)
 
-    if max_filter_rounds > 0 and len(nodes_r) > 1 and len(nodes_s) > 1:
-        outcome = iterative_filter(extended_r, extended_s, max_filter_rounds)
+    if max_filter_rounds > 0 and len(group_r) > 1 and len(group_s) > 1:
+        outcome = iterative_filter(
+            extended_r,
+            extended_s,
+            max_filter_rounds,
+            cover_left=group_r.cover.extend(half_epsilon),
+            cover_right=group_s.cover.extend(half_epsilon),
+        )
         stats.filter_rounds += outcome.rounds
         stats.filtered_children += int((~outcome.keep_left).sum()) + int(
             (~outcome.keep_right).sum()
         )
-        left_items = [
-            (extended_r[k], nodes_r[k])
-            for k in range(len(nodes_r))
-            if outcome.keep_left[k]
-        ]
-        right_items = [
-            (extended_s[k], nodes_s[k])
-            for k in range(len(nodes_s))
-            if outcome.keep_right[k]
-        ]
+        kept_r = np.nonzero(outcome.keep_left)[0]
+        kept_s = np.nonzero(outcome.keep_right)[0]
+        idx_i, idx_j = block_sweep_pairs(extended_r[kept_r], extended_s[kept_s], stats)
+        idx_i, idx_j = kept_r[idx_i], kept_s[idx_j]
     else:
-        left_items = list(zip(extended_r, nodes_r))
-        right_items = list(zip(extended_s, nodes_s))
+        idx_i, idx_j = block_sweep_pairs(extended_r, extended_s, stats)
 
-    for node_r, node_s in sweep_pairs(left_items, right_items, stats):
-        assert isinstance(node_r, IndexNode) and isinstance(node_s, IndexNode)
-        if node_r.is_leaf and node_s.is_leaf:
-            assert node_r.page_no is not None and node_s.page_no is not None
-            matrix.mark(node_r.page_no, node_s.page_no)
-            stats.leaf_pairs_marked += 1
-        else:
-            stats.node_pairs_expanded += 1
-            _descend(
-                node_r.children if node_r.children else [node_r],
-                node_s.children if node_s.children else [node_s],
-                half_epsilon,
-                matrix,
-                stats,
-                max_filter_rounds,
-            )
+    if idx_i.size == 0:
+        return
+    both_leaves = group_r.leaf_mask[idx_i] & group_s.leaf_mask[idx_j]
+    if both_leaves.any():
+        rows = group_r.pages[idx_i[both_leaves]]
+        cols = group_s.pages[idx_j[both_leaves]]
+        matrix.mark_many(rows, cols)
+        stats.leaf_pairs_marked += int(both_leaves.sum())
+    expand_i = idx_i[~both_leaves]
+    expand_j = idx_j[~both_leaves]
+    stats.node_pairs_expanded += expand_i.size
+    for a, b in zip(expand_i.tolist(), expand_j.tolist()):
+        _descend(
+            _Group.of_children(group_r.nodes[a]),
+            _Group.of_children(group_s.nodes[b]),
+            half_epsilon,
+            matrix,
+            stats,
+            max_filter_rounds,
+        )

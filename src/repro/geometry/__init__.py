@@ -1,5 +1,12 @@
-"""Axis-aligned rectangle geometry used by every index and the plane sweep."""
+"""Axis-aligned rectangle geometry used by every index and the plane sweep.
 
+Two representations of the same boxes: :class:`Rect` is the scalar API
+(one box, immutable), :class:`BoxArray` the struct-of-arrays API (``n``
+boxes as ``(n, d)`` ``lo``/``hi`` columns) that the matrix-construction
+hot path runs on.
+"""
+
+from repro.geometry.boxarray import BoxArray, as_box_array
 from repro.geometry.rect import Rect, union_all
 
-__all__ = ["Rect", "union_all"]
+__all__ = ["Rect", "union_all", "BoxArray", "as_box_array"]

@@ -137,9 +137,16 @@ class Rect:
         return Rect._unchecked(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
 
     def extend(self, amount: float) -> "Rect":
-        """Grow by ``amount`` in every direction (the ε/2 extension)."""
+        """Grow by ``amount`` in every direction (the ε/2 extension).
+
+        ``amount == 0`` returns ``self``: rectangles are immutable, and the
+        ε=0 join path calls this per node pair at every descent level — it
+        must not allocate two fresh arrays for a no-op.
+        """
         if amount < 0:
             raise ValueError(f"extension amount must be non-negative, got {amount}")
+        if amount == 0:
+            return self
         return Rect._unchecked(self.lo - amount, self.hi + amount)
 
     def union_point(self, point: Sequence[float]) -> "Rect":

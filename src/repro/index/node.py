@@ -14,7 +14,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
-from repro.geometry import Rect
+from repro.geometry import BoxArray, Rect
 
 __all__ = ["IndexNode", "PageIndex"]
 
@@ -26,6 +26,12 @@ class IndexNode:
     Leaves (``children == []``) describe exactly one data page and carry its
     ``page_no``.  Internal nodes aggregate children; ``node_id`` is a
     BFS-assigned number used by BFRJ to charge index-page reads.
+
+    The hierarchy is frozen once built: :meth:`children_bounds` and friends
+    cache struct-of-arrays views of the children (bounds, leaf flags, page
+    numbers, covering box) so the matrix-construction descent never
+    materialises per-child ``Rect`` lists.  Mutating ``children`` or child
+    boxes after the first such call leaves the cache stale.
     """
 
     box: Rect
@@ -37,6 +43,45 @@ class IndexNode:
     @property
     def is_leaf(self) -> bool:
         return not self.children
+
+    def children_bounds(self) -> BoxArray:
+        """The children's boxes as one cached ``(n, d)`` :class:`BoxArray`."""
+        return self._child_arrays()[0]
+
+    def children_leaf_mask(self) -> np.ndarray:
+        """Cached boolean array: is child ``k`` a leaf?"""
+        return self._child_arrays()[1]
+
+    def children_pages(self) -> np.ndarray:
+        """Cached int64 array of child page numbers (-1 for internal children)."""
+        return self._child_arrays()[2]
+
+    def children_cover(self) -> Rect:
+        """Cached tight covering box of the children (their exact union)."""
+        return self._child_arrays()[3]
+
+    def _child_arrays(self):
+        cached = getattr(self, "_child_arrays_cache", None)
+        if cached is None:
+            if not self.children:
+                raise ValueError("leaf nodes have no children bounds")
+            bounds = BoxArray.from_rects([child.box for child in self.children])
+            leaf_mask = np.fromiter(
+                (child.is_leaf for child in self.children),
+                dtype=bool,
+                count=len(self.children),
+            )
+            pages = np.fromiter(
+                (
+                    child.page_no if child.page_no is not None else -1
+                    for child in self.children
+                ),
+                dtype=np.int64,
+                count=len(self.children),
+            )
+            cached = (bounds, leaf_mask, pages, bounds.union())
+            self._child_arrays_cache = cached
+        return cached
 
     def iter_leaves(self) -> Iterator["IndexNode"]:
         """All leaves under this node, left to right."""
@@ -125,3 +170,11 @@ class PageIndex:
     @property
     def num_index_nodes(self) -> int:
         return self.root.count_nodes()
+
+    def leaf_bounds(self) -> BoxArray:
+        """All page MBRs as one cached ``(num_pages, d)`` :class:`BoxArray`."""
+        cached = getattr(self, "_leaf_bounds_cache", None)
+        if cached is None:
+            cached = BoxArray.from_rects(self.leaf_boxes)
+            self._leaf_bounds_cache = cached
+        return cached

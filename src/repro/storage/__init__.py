@@ -13,7 +13,15 @@ from repro.storage.page import (
     SequencePagedDataset,
     VectorPagedDataset,
 )
-from repro.storage.persist import load_dataset, save_dataset
+from repro.storage.persist import (
+    dataset_fingerprint,
+    invalidate_matrix_cache,
+    load_dataset,
+    load_matrix,
+    matrix_cache_key,
+    save_dataset,
+    save_matrix,
+)
 from repro.storage.scheduler import plan_batch_read
 from repro.storage.stats import CostReport, IOStats
 from repro.storage.trace import AccessTrace, TraceSummary, attach_trace
@@ -30,6 +38,11 @@ __all__ = [
     "CostReport",
     "save_dataset",
     "load_dataset",
+    "dataset_fingerprint",
+    "matrix_cache_key",
+    "save_matrix",
+    "load_matrix",
+    "invalidate_matrix_cache",
     "AccessTrace",
     "TraceSummary",
     "attach_trace",

@@ -1,4 +1,4 @@
-"""Saving and loading indexed datasets.
+"""Saving and loading indexed datasets and prediction matrices.
 
 An :class:`~repro.core.join.IndexedDataset` is expensive to build for
 large inputs (index construction dominates).  This module serialises one
@@ -6,25 +6,47 @@ to a directory — data arrays/sequence in ``.npz``/``.txt``, page
 boundaries, the full MBR hierarchy as JSON — and restores it exactly
 (same page layout, same boxes, same node ids), so saved datasets join
 identically to freshly built ones.
+
+It also hosts the **prediction-matrix cache**: a built matrix is fully
+determined by the two MBR hierarchies, ε, and the filter depth, so
+repeated experiment/figure runs over the same datasets can skip
+reconstruction entirely.  A cached matrix is stored as a sparse COO
+``.npz`` under a key derived from ``(fingerprint(R), fingerprint(S),
+epsilon, max_filter_rounds)``, where :func:`dataset_fingerprint` hashes
+the page/MBR structure (tree shape, levels, page numbers, exact float64
+box coordinates, page count).  Any change to the data or index yields a
+different fingerprint — a new key, never a stale hit; dropping cache
+entries explicitly is :func:`invalidate_matrix_cache`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.geometry import Rect
 from repro.index.node import IndexNode, PageIndex
 
-__all__ = ["save_dataset", "load_dataset"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "dataset_fingerprint",
+    "matrix_cache_key",
+    "save_matrix",
+    "load_matrix",
+    "invalidate_matrix_cache",
+]
 
 _FORMAT_VERSION = 1
 _META_FILE = "dataset.json"
 _ARRAY_FILE = "arrays.npz"
 _TEXT_FILE = "sequence.txt"
+_MATRIX_FORMAT_VERSION = 1
+_MATRIX_PREFIX = "pm_"
 
 
 def save_dataset(dataset, directory: "str | Path") -> Path:
@@ -126,6 +148,126 @@ def load_dataset(directory: "str | Path", dataset_id: Optional[str] = None):
         features=features,
         alphabet=meta.get("alphabet", "ACGT"),
     )
+
+
+# -- prediction-matrix cache -------------------------------------------------------
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Hex digest of everything the prediction matrix depends on.
+
+    Hashes the MBR hierarchy (structure, levels, page numbers, exact box
+    coordinates) plus the page count — the complete input of
+    ``build_prediction_matrix`` for one side.  Stable across
+    :func:`save_dataset`/:func:`load_dataset` round trips (boxes restore
+    bit-exactly) and across processes.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"pm-fingerprint-v1")
+    digest.update(str(dataset.num_pages).encode())
+    _hash_node(digest, dataset.index.root)
+    return digest.hexdigest()
+
+
+def _hash_node(digest, node: IndexNode) -> None:
+    digest.update(b"N")
+    digest.update(str(node.level).encode())
+    digest.update(str(node.page_no if node.page_no is not None else -1).encode())
+    digest.update(np.ascontiguousarray(node.box.lo).tobytes())
+    digest.update(np.ascontiguousarray(node.box.hi).tobytes())
+    for child in node.children:
+        _hash_node(digest, child)
+    digest.update(b"E")
+
+
+def matrix_cache_key(
+    fingerprint_r: str,
+    fingerprint_s: str,
+    epsilon: float,
+    max_filter_rounds: int,
+) -> str:
+    """Cache key of one matrix build: the two sides, ε, and filter depth.
+
+    ε enters via its exact float64 bits; the filter depth is part of the
+    key because ``SweepStats`` differ per depth even though the marks do
+    not — a hit must be indistinguishable from a rebuild at the same
+    arguments.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"pm-key-v1")
+    digest.update(fingerprint_r.encode())
+    digest.update(fingerprint_s.encode())
+    digest.update(np.float64(epsilon).tobytes())
+    digest.update(str(int(max_filter_rounds)).encode())
+    return digest.hexdigest()
+
+
+def save_matrix(matrix, directory: "str | Path", key: str) -> Path:
+    """Persist a built prediction matrix under ``directory`` keyed by ``key``.
+
+    Stores the sparse COO entry arrays; returns the written path.
+    """
+    from repro.core.prediction import PredictionMatrix  # local: avoid cycle
+
+    if not isinstance(matrix, PredictionMatrix):
+        raise TypeError(f"expected a PredictionMatrix, got {type(matrix).__name__}")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    rows, cols = matrix.to_coo()
+    target = path / f"{_MATRIX_PREFIX}{key}.npz"
+    np.savez_compressed(
+        target,
+        version=np.int64(_MATRIX_FORMAT_VERSION),
+        shape=np.asarray([matrix.num_rows, matrix.num_cols], dtype=np.int64),
+        rows=rows,
+        cols=cols,
+    )
+    return target
+
+
+def load_matrix(directory: "str | Path", key: str):
+    """Load a cached prediction matrix, or ``None`` on a cache miss.
+
+    A hit returns the matrix exactly as ``build_prediction_matrix``
+    produced it (before any self-join triangle reduction, which ``join``
+    applies after loading).
+    """
+    from repro.core.prediction import PredictionMatrix  # local: avoid cycle
+
+    target = Path(directory) / f"{_MATRIX_PREFIX}{key}.npz"
+    if not target.exists():
+        return None
+    with np.load(target) as payload:
+        if int(payload["version"]) != _MATRIX_FORMAT_VERSION:
+            return None
+        num_rows, num_cols = (int(v) for v in payload["shape"])
+        return PredictionMatrix.from_coo(
+            num_rows, num_cols, payload["rows"], payload["cols"]
+        )
+
+
+def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) -> int:
+    """Drop cached matrices; returns how many entries were removed.
+
+    With ``key`` given, removes that one entry; otherwise clears every
+    cached matrix in ``directory``.  This is the explicit invalidation
+    path — fingerprint keys already make stale *hits* impossible, so
+    invalidation exists to reclaim space and to force rebuilds.
+    """
+    path = Path(directory)
+    if not path.is_dir():
+        return 0
+    if key is not None:
+        target = path / f"{_MATRIX_PREFIX}{key}.npz"
+        if target.exists():
+            target.unlink()
+            return 1
+        return 0
+    removed = 0
+    for entry in path.glob(f"{_MATRIX_PREFIX}*.npz"):
+        entry.unlink()
+        removed += 1
+    return removed
 
 
 # -- (de)serialisation helpers ---------------------------------------------------

@@ -1,0 +1,122 @@
+"""BoxArray must agree with per-Rect geometry on every vectorised operation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoxArray, Rect, as_box_array, union_all
+
+
+def random_rects(rng, n, d=3):
+    lo = rng.uniform(-5, 5, size=(n, d))
+    return [Rect(lo[k], lo[k] + rng.uniform(0, 3, size=d)) for k in range(n)]
+
+
+class TestConstruction:
+    def test_from_rects_roundtrip(self, rng):
+        rects = random_rects(rng, 7)
+        boxes = BoxArray.from_rects(rects)
+        assert len(boxes) == 7 and boxes.dim == 3
+        assert boxes.to_rects() == rects
+        assert boxes[2] == rects[2]
+
+    def test_from_rect_single(self):
+        rect = Rect([0, 0], [1, 2])
+        boxes = BoxArray.from_rect(rect)
+        assert len(boxes) == 1
+        assert boxes.rect(0) == rect
+
+    def test_empty(self):
+        boxes = BoxArray.empty(4)
+        assert len(boxes) == 0 and boxes.dim == 4
+        assert BoxArray.from_rects([]).to_rects() == []
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoxArray(np.ones((2, 2)), np.zeros((2, 2)))
+
+    def test_fancy_indexing(self, rng):
+        rects = random_rects(rng, 6)
+        boxes = BoxArray.from_rects(rects)
+        picked = boxes[np.array([4, 1])]
+        assert picked.to_rects() == [rects[4], rects[1]]
+        masked = boxes[np.array([True, False, True, False, False, False])]
+        assert masked.to_rects() == [rects[0], rects[2]]
+
+    def test_as_box_array_passthrough_and_coercion(self, rng):
+        rects = random_rects(rng, 3)
+        boxes = BoxArray.from_rects(rects)
+        assert as_box_array(boxes) is boxes
+        assert as_box_array(rects).to_rects() == rects
+
+
+class TestVectorisedOps:
+    def test_extend_matches_rect(self, rng):
+        rects = random_rects(rng, 5)
+        grown = BoxArray.from_rects(rects).extend(0.7)
+        assert grown.to_rects() == [rect.extend(0.7) for rect in rects]
+
+    def test_extend_zero_returns_self(self, rng):
+        boxes = BoxArray.from_rects(random_rects(rng, 4))
+        assert boxes.extend(0.0) is boxes
+
+    def test_extend_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            BoxArray.from_rects(random_rects(rng, 2)).extend(-0.1)
+
+    def test_intersects_matrix_matches_rect(self, rng):
+        left = random_rects(rng, 8)
+        right = random_rects(rng, 6)
+        got = BoxArray.from_rects(left).intersects_matrix(BoxArray.from_rects(right))
+        for i, a in enumerate(left):
+            for j, b in enumerate(right):
+                assert got[i, j] == a.intersects(b)
+
+    def test_intersects_rect_matches(self, rng):
+        rects = random_rects(rng, 10)
+        probe = random_rects(rng, 1)[0]
+        got = BoxArray.from_rects(rects).intersects_rect(probe)
+        assert got.tolist() == [rect.intersects(probe) for rect in rects]
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, float("inf")])
+    def test_min_dist_matrix_matches_rect(self, rng, p):
+        left = random_rects(rng, 6)
+        right = random_rects(rng, 5)
+        got = BoxArray.from_rects(left).min_dist_matrix(BoxArray.from_rects(right), p)
+        want = np.array([[a.min_dist(b, p) for b in right] for a in left])
+        np.testing.assert_allclose(got, want)
+
+    def test_clip_matches_intersection(self, rng):
+        rects = random_rects(rng, 12)
+        region = Rect([-1, -1, -1], [2, 2, 2])
+        clipped, valid = BoxArray.from_rects(rects).clip(region)
+        for k, rect in enumerate(rects):
+            overlap = rect.intersection(region)
+            assert valid[k] == (overlap is not None)
+            if overlap is not None:
+                assert clipped.rect(k) == overlap
+
+    def test_union_matches_union_all(self, rng):
+        rects = random_rects(rng, 9)
+        assert BoxArray.from_rects(rects).union() == union_all(rects)
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoxArray.empty(2).union()
+
+    def test_union_with_elementwise(self, rng):
+        left = random_rects(rng, 4)
+        right = random_rects(rng, 4)
+        got = BoxArray.from_rects(left).union_with(BoxArray.from_rects(right))
+        assert got.to_rects() == [a.union(b) for a, b in zip(left, right)]
+
+
+class TestRectExtendShortcut:
+    def test_extend_zero_returns_self(self):
+        rect = Rect([0, 1], [2, 3])
+        assert rect.extend(0.0) is rect
+
+    def test_extend_nonzero_allocates(self):
+        rect = Rect([0, 1], [2, 3])
+        grown = rect.extend(0.5)
+        assert grown is not rect
+        assert grown == Rect([-0.5, 0.5], [2.5, 3.5])
