@@ -21,7 +21,12 @@ import json
 import sys
 
 # Sections whose ``speedup`` ratios are machine-independent contracts.
-CHECKED_SECTIONS = ("refinement_kernels", "minkowski_gram_filter", "matrix_build")
+CHECKED_SECTIONS = (
+    "refinement_kernels",
+    "minkowski_gram_filter",
+    "matrix_build",
+    "clustering",
+)
 MAX_SLOWDOWN = 2.0
 
 

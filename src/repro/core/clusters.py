@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Hashable, List, Set, Tuple
 
+import numpy as np
+
 __all__ = ["Cluster"]
 
 Entry = Tuple[int, int]
@@ -42,6 +44,11 @@ class Cluster:
             raise ValueError("a cluster must contain at least one entry")
         object.__setattr__(self, "rows", frozenset(r for r, _c in self.entries))
         object.__setattr__(self, "cols", frozenset(c for _r, c in self.entries))
+        # Scheduling recomputes page sets for every cluster pair; cache
+        # them per dataset-id pair (and the sorted page arrays the
+        # incidence-matrix scheduler gathers) instead of rebuilding.
+        object.__setattr__(self, "_page_keys_cache", {})
+        object.__setattr__(self, "_page_arrays", None)
 
     @property
     def num_entries(self) -> int:
@@ -63,10 +70,28 @@ class Cluster:
         For a self join both ids coincide and a page marked as both row and
         column is naturally deduplicated — which is also physically
         accurate (it occupies one buffer frame).
+
+        The set is cached per ``(r_dataset_id, s_dataset_id)`` pair and
+        shared between callers; treat it as read-only.
         """
-        keys: Set[PageKey] = {(r_dataset_id, row) for row in self.rows}
-        keys.update((s_dataset_id, col) for col in self.cols)
-        return keys
+        cache_key = (r_dataset_id, s_dataset_id)
+        cached = self._page_keys_cache.get(cache_key)
+        if cached is None:
+            cached = {(r_dataset_id, row) for row in self.rows}
+            cached.update((s_dataset_id, col) for col in self.cols)
+            self._page_keys_cache[cache_key] = cached
+        return cached
+
+    def page_arrays(self) -> "Tuple[np.ndarray, np.ndarray]":
+        """Cached sorted int64 arrays of the marked row and column pages."""
+        arrays = self._page_arrays
+        if arrays is None:
+            arrays = (
+                np.fromiter(sorted(self.rows), dtype=np.int64, count=len(self.rows)),
+                np.fromiter(sorted(self.cols), dtype=np.int64, count=len(self.cols)),
+            )
+            object.__setattr__(self, "_page_arrays", arrays)
+        return arrays
 
     def shared_pages(
         self,

@@ -15,9 +15,138 @@ from typing import Dict, Iterator, List, Set, Tuple
 
 import numpy as np
 
-__all__ = ["PredictionMatrix"]
+__all__ = ["PredictionMatrix", "CSRWorkMatrix"]
 
 Entry = Tuple[int, int]
+
+
+class CSRWorkMatrix:
+    """Dual CSR/CSC array view of a marked-entry snapshot, with removal.
+
+    The clustering passes (SC/CC) consume a *working copy* of the
+    prediction matrix: they repeatedly slice rows/columns and remove the
+    entries they assign to clusters.  The dict-of-sets representation
+    makes every ``row_cols``/``col_rows`` call a sorted-list rebuild;
+    this view stores the same entries once, in two static sorted orders,
+    and models removal with an alive-mask — so slicing is an array view
+    plus a boolean gather, and removal is a vectorised mask update.
+
+    Layout
+    ------
+    Entries are numbered ``0..e-1`` in row-major order.
+
+    ``entry_rows`` / ``entry_cols``
+        Coordinates by entry id (int64).
+    ``row_indptr``
+        CSR: entries of ``row`` are ids ``row_indptr[row]:row_indptr[row+1]``,
+        ascending by column.
+    ``csc_entries`` / ``col_indptr``
+        CSC: ``csc_entries[col_indptr[col]:col_indptr[col+1]]`` are the
+        ids of ``col``'s entries, ascending by row.
+    ``alive``
+        Boolean by entry id; killed entries stay in the arrays but are
+        masked out of every query.
+    ``row_live`` / ``col_live``
+        Live-entry counts per row / column.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+    ) -> None:
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows and cols must be 1-d arrays of equal length")
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self.entry_rows = rows
+        self.entry_cols = cols
+        counts = np.bincount(rows, minlength=num_rows)
+        self.row_indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.row_indptr[1:])
+        self.csc_entries = np.lexsort((rows, cols))
+        col_counts = np.bincount(cols, minlength=num_cols)
+        self.col_indptr = np.zeros(num_cols + 1, dtype=np.int64)
+        np.cumsum(col_counts, out=self.col_indptr[1:])
+        self.alive = np.ones(rows.size, dtype=bool)
+        self.live_count = int(rows.size)
+        self.row_live = counts.astype(np.int64)
+        self.col_live = col_counts.astype(np.int64)
+        # Compound coordinate keys, ascending in their respective orders:
+        # one searchsorted over them finds a (row, col-range) span without
+        # first slicing the row — which lets boundary scans probe *all*
+        # candidate rows/columns in a single call.
+        self.row_keys = rows * np.int64(num_cols) + cols
+        self.csc_keys = (
+            cols[self.csc_entries] * np.int64(num_rows) + rows[self.csc_entries]
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_marked(self) -> int:
+        """Live entries remaining (the working copy's ``e``)."""
+        return self.live_count
+
+    def live_rows(self) -> np.ndarray:
+        """Sorted rows that still have a live entry."""
+        return np.nonzero(self.row_live > 0)[0]
+
+    def live_cols(self) -> np.ndarray:
+        """Sorted columns that still have a live entry."""
+        return np.nonzero(self.col_live > 0)[0]
+
+    def row_entry_ids(self, row: int) -> np.ndarray:
+        """Live entry ids of ``row``, ascending by column."""
+        ids = self.csr_row_ids(row)
+        return ids[self.alive[ids]]
+
+    def col_entry_ids(self, col: int) -> np.ndarray:
+        """Live entry ids of ``col``, ascending by row."""
+        ids = self.csc_col_ids(col)
+        return ids[self.alive[ids]]
+
+    def csr_row_ids(self, row: int) -> np.ndarray:
+        """All entry ids of ``row`` (live or not), ascending by column."""
+        start, stop = self.row_indptr[row], self.row_indptr[row + 1]
+        return np.arange(start, stop, dtype=np.int64)
+
+    def csc_col_ids(self, col: int) -> np.ndarray:
+        """All entry ids of ``col`` (live or not), ascending by row."""
+        return self.csc_entries[self.col_indptr[col] : self.col_indptr[col + 1]]
+
+    def live_entry_ids(self) -> np.ndarray:
+        """Live entry ids in row-major order."""
+        return np.nonzero(self.alive)[0]
+
+    def compacted(self) -> "CSRWorkMatrix":
+        """A fresh view holding only the live entries.
+
+        Entry ids are renumbered (still row-major), so callers must drop
+        any ids taken from the old view.  Rebuilding once the live
+        fraction halves keeps the slicing cost proportional to the
+        remaining work instead of the original entry count.
+        """
+        live = np.nonzero(self.alive)[0]
+        return CSRWorkMatrix(
+            self.num_rows, self.num_cols, self.entry_rows[live], self.entry_cols[live]
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def kill(self, entry_ids: np.ndarray) -> None:
+        """Remove a batch of live entries (ids must be live and unique)."""
+        entry_ids = np.asarray(entry_ids, dtype=np.int64)
+        if entry_ids.size == 0:
+            return
+        self.alive[entry_ids] = False
+        self.live_count -= int(entry_ids.size)
+        np.subtract.at(self.row_live, self.entry_rows[entry_ids], 1)
+        np.subtract.at(self.col_live, self.entry_cols[entry_ids], 1)
 
 
 class PredictionMatrix:
@@ -224,6 +353,16 @@ class PredictionMatrix:
         matrix = cls(num_rows, num_cols)
         matrix.mark_many(rows, cols)
         return matrix
+
+    def csr_view(self) -> CSRWorkMatrix:
+        """A :class:`CSRWorkMatrix` snapshot of the marked entries.
+
+        The view is independent of this matrix: killing entries in the
+        view does not unmark them here (clustering consumes the view the
+        way it used to consume a :meth:`copy`).
+        """
+        rows, cols = self.to_coo()
+        return CSRWorkMatrix(self.num_rows, self.num_cols, rows, cols)
 
     def to_dense(self) -> np.ndarray:
         """Dense boolean array (small matrices / tests / visualisation)."""

@@ -8,11 +8,20 @@ a Hamiltonian path whose total edge weight equals the page reads saved
 edge heuristic: repeatedly take the heaviest edge that neither closes a
 cycle nor raises a vertex degree above two, then read the resulting path
 fragments end to end.
+
+Edge weights are computed with one matrix product instead of O(k²) Python
+set intersections: each cluster becomes a 0/1 row of a page-incidence
+matrix ``C`` over the union of touched pages, and ``C @ C.T`` holds every
+pairwise shared-page count at once.  The counts are exact — the entries
+of ``C`` are 0.0/1.0 and the dot products are small integers, far below
+the 2**53 float64 integer limit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.clusters import Cluster
 
@@ -32,16 +41,10 @@ def sharing_graph(
     values are shared-page counts.  Zero-weight edges are omitted (they
     never help a schedule).
     """
-    edges: Dict[Edge, int] = {}
-    page_sets = [
-        cluster.page_keys(r_dataset_id, s_dataset_id) for cluster in clusters
-    ]
-    for i in range(len(clusters)):
-        for j in range(i + 1, len(clusters)):
-            weight = len(page_sets[i] & page_sets[j])
-            if weight > 0:
-                edges[(i, j)] = weight
-    return edges
+    ii, jj, ww = _sharing_edges(clusters, r_dataset_id == s_dataset_id)
+    return {
+        (i, j): w for i, j, w in zip(ii.tolist(), jj.tolist(), ww.tolist())
+    }
 
 
 def greedy_cluster_order(
@@ -56,8 +59,12 @@ def greedy_cluster_order(
     """
     if not clusters:
         return []
-    edges = sharing_graph(clusters, r_dataset_id, s_dataset_id)
-    chosen = _greedy_path_edges(len(clusters), edges)
+    ii, jj, ww = _sharing_edges(clusters, r_dataset_id == s_dataset_id)
+    # Heaviest weight first, then ascending (i, j): the edges come out of
+    # _sharing_edges i-major already, so a stable sort on the negated
+    # weight alone reproduces sorting dict items by (-weight, (i, j)).
+    rank = np.argsort(-ww, kind="stable")
+    chosen = _greedy_path_edges(len(clusters), _lazy_pairs(ii, jj, rank))
     order = _walk_fragments(len(clusters), chosen)
     return [clusters[k] for k in order]
 
@@ -81,8 +88,65 @@ def schedule_savings(
 # -- internals -----------------------------------------------------------------
 
 
-def _greedy_path_edges(num_vertices: int, edges: Dict[Edge, int]) -> List[Edge]:
-    """Heaviest-first edge selection under degree-<=2 and acyclicity."""
+def _page_codes(cluster: Cluster, self_join: bool) -> np.ndarray:
+    """The cluster's pages as integer codes in a single shared space.
+
+    For a self join row and column pages live in one physical space, so a
+    page marked both ways is deduplicated; otherwise rows map to even and
+    columns to odd codes, which never collide.
+    """
+    rows, cols = cluster.page_arrays()
+    if self_join:
+        return np.union1d(rows, cols)
+    return np.concatenate((rows * 2, cols * 2 + 1))
+
+
+def _sharing_edges(
+    clusters: Sequence[Cluster],
+    self_join: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Positive upper-triangle sharing-graph edges as ``(ii, jj, ww)`` arrays.
+
+    Edges come out i-major (ascending ``i``, then ``j``), matching a
+    nested loop over cluster pairs.
+    """
+    num = len(clusters)
+    if num < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    codes = [_page_codes(cluster, self_join) for cluster in clusters]
+    universe = np.unique(np.concatenate(codes))
+    # float32 keeps the counts exact (shared-page counts are far below
+    # 2**24) at half the matmul cost of float64.
+    incidence = np.zeros((num, universe.size), dtype=np.float32)
+    for k, cluster_codes in enumerate(codes):
+        incidence[k, universe.searchsorted(cluster_codes)] = 1.0
+    shared = incidence @ incidence.T
+    ii, jj = np.nonzero(np.triu(shared, 1))
+    ww = shared[ii, jj].astype(np.int64)
+    return ii.astype(np.int64), jj.astype(np.int64), ww
+
+
+def _lazy_pairs(
+    ii: np.ndarray, jj: np.ndarray, rank: np.ndarray, block: int = 8192
+) -> Iterable[Edge]:
+    """Edge tuples in rank order, materialised a block at a time.
+
+    The greedy selector usually stops after ``num_vertices - 1``
+    acceptances, so converting every ranked edge to Python ints up front
+    would dominate the runtime on dense sharing graphs.
+    """
+    for start in range(0, rank.size, block):
+        sel = rank[start : start + block]
+        yield from zip(ii[sel].tolist(), jj[sel].tolist())
+
+
+def _greedy_path_edges(num_vertices: int, ordered_edges: Iterable[Edge]) -> List[Edge]:
+    """Edge selection under degree-<=2 and acyclicity.
+
+    ``ordered_edges`` must already be sorted heaviest first with ties by
+    ascending ``(i, j)``.
+    """
     parent = list(range(num_vertices))
 
     def find(x: int) -> int:
@@ -93,7 +157,7 @@ def _greedy_path_edges(num_vertices: int, edges: Dict[Edge, int]) -> List[Edge]:
 
     degree = [0] * num_vertices
     chosen: List[Edge] = []
-    for (i, j), _weight in sorted(edges.items(), key=lambda kv: (-kv[1], kv[0])):
+    for i, j in ordered_edges:
         if degree[i] >= 2 or degree[j] >= 2:
             continue
         root_i, root_j = find(i), find(j)
@@ -103,6 +167,11 @@ def _greedy_path_edges(num_vertices: int, edges: Dict[Edge, int]) -> List[Edge]:
         degree[i] += 1
         degree[j] += 1
         chosen.append((i, j))
+        if len(chosen) == num_vertices - 1:
+            # A spanning forest with degrees <= 2 and n-1 edges is one
+            # Hamiltonian path; every remaining edge would close a cycle
+            # or exceed a degree, so it would be rejected anyway.
+            break
     return chosen
 
 

@@ -67,10 +67,15 @@ def threshold_argmin(
             _bound, item = head_b
             head_b = next(list_b, None)
 
-        key = id(item) if not _hashable(item) else item
-        if key in seen:
-            continue
-        seen.add(key)
+        try:
+            if item in seen:
+                continue
+            seen.add(item)
+        except TypeError:  # unhashable item: fall back to identity
+            key = id(item)
+            if key in seen:
+                continue
+            seen.add(key)
         cost = exact_cost(item)
         if cost < best_cost:
             best_item, best_cost = item, cost

@@ -19,7 +19,11 @@ from repro.experiments.harness import (
     run_methods,
     sweep_buffer_sizes,
 )
-from repro.experiments.report import format_series, format_table
+from repro.experiments.report import (
+    format_series,
+    format_stage_breakdown,
+    format_table,
+)
 
 __all__ = [
     "figure10",
@@ -33,4 +37,5 @@ __all__ = [
     "sweep_buffer_sizes",
     "format_table",
     "format_series",
+    "format_stage_breakdown",
 ]

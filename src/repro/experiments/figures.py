@@ -136,11 +136,14 @@ class CostBreakdownResult:
         return out
 
     def to_text(self) -> str:
-        return format_table(
+        from repro.experiments.report import format_stage_breakdown
+
+        table = format_table(
             ["method", "pre(s)", "cpu(s)", "io(s)", "total(s)", "paper pre/cpu/io"],
             self.rows(),
             title=self.name,
         )
+        return table + "\n\n" + format_stage_breakdown(self.runs)
 
     def total(self, method: str) -> float:
         run = self.runs[method]

@@ -30,6 +30,14 @@ class MethodRun:
     def total_seconds(self) -> Optional[float]:
         return self.report.total_seconds if self.report else None
 
+    @property
+    def stage_seconds(self) -> Optional[Dict[str, float]]:
+        """Wall-clock seconds per pipeline stage (matrix / clustering /
+        scheduling / execution), as measured by :func:`repro.core.join.join`."""
+        if self.report is None:
+            return None
+        return self.report.extra.get("stage_seconds")
+
 
 def run_methods(
     r: IndexedDataset,

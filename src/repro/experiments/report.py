@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_stage_breakdown"]
+
+_STAGES = ("matrix", "clustering", "scheduling", "execution")
 
 
 def format_table(
@@ -50,6 +52,24 @@ def format_series(
             row.append("-" if value is None else f"{value:.3f}{unit}")
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+def format_stage_breakdown(runs, title: str = "wall-clock per stage") -> str:
+    """Per-method wall-clock stage table (matrix/clustering/scheduling/execution).
+
+    ``runs`` maps method name to a :class:`~repro.experiments.harness.MethodRun`;
+    infeasible runs (and methods without stage timings) render as dashes.
+    """
+    rows: List[List[object]] = []
+    for method, run in runs.items():
+        stages = getattr(run, "stage_seconds", None)
+        if stages is None:
+            rows.append([method] + ["-"] * len(_STAGES))
+        else:
+            rows.append([method] + [f"{stages.get(s, 0.0):.3f}s" for s in _STAGES])
+    return format_table(
+        ["method"] + [f"{s}(s)" for s in _STAGES], rows, title=title
+    )
 
 
 def _render(value: object) -> str:

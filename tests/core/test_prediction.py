@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.prediction import PredictionMatrix
+from repro.core.prediction import CSRWorkMatrix, PredictionMatrix
 
 
 class TestMarking:
@@ -166,3 +166,76 @@ class TestMarkedSetCaching:
         dup.mark(2, 2)
         assert m.marked_rows() is cached
         assert dup.marked_rows() == [1, 2]
+
+    def test_mark_many_invalidates_on_new_rows_and_cols(self):
+        m = PredictionMatrix(8, 8)
+        m.mark_many(np.asarray([1, 3]), np.asarray([2, 2]))
+        rows, cols = m.marked_rows(), m.marked_cols()
+        assert rows == [1, 3] and cols == [2]
+        # Re-marking existing entries must not rebuild the views ...
+        m.mark_many(np.asarray([1, 3]), np.asarray([2, 2]))
+        assert m.marked_rows() is rows
+        assert m.marked_cols() is cols
+        # ... but a batch introducing a new row AND a new column must
+        # invalidate both, even when it also repeats old entries.
+        m.mark_many(np.asarray([1, 5, 3]), np.asarray([2, 2, 6]))
+        assert m.marked_rows() == [1, 3, 5]
+        assert m.marked_cols() == [2, 6]
+
+    def test_mark_many_then_unmark_round_trip(self):
+        m = PredictionMatrix(6, 6)
+        m.mark_many(np.asarray([0, 0, 4]), np.asarray([1, 5, 1]))
+        m.marked_rows(), m.marked_cols()
+        m.unmark(4, 1)
+        assert m.marked_rows() == [0]
+        assert m.marked_cols() == [1, 5]
+        m.mark_many(np.asarray([4]), np.asarray([1]))
+        assert m.marked_rows() == [0, 4]
+        assert m.marked_cols() == [1, 5]
+
+
+class TestCSRWorkMatrix:
+    @pytest.fixture
+    def work(self):
+        m = PredictionMatrix(4, 5)
+        for row, col in [(0, 1), (0, 3), (1, 0), (2, 1), (2, 4), (3, 3)]:
+            m.mark(row, col)
+        return m.csr_view()
+
+    def test_dual_views_agree(self, work):
+        assert work.num_marked == 6
+        assert work.live_rows().tolist() == [0, 1, 2, 3]
+        assert work.live_cols().tolist() == [0, 1, 3, 4]
+        # CSR slices ascend by column, CSC slices ascend by row, and both
+        # views address the same entry ids.
+        assert work.entry_cols[work.row_entry_ids(0)].tolist() == [1, 3]
+        assert work.entry_rows[work.col_entry_ids(1)].tolist() == [0, 2]
+        assert work.col_entry_ids(2).size == 0
+
+    def test_kill_updates_every_view(self, work):
+        work.kill(work.col_entry_ids(1))  # entries (0, 1) and (2, 1)
+        assert work.num_marked == 4
+        assert 1 not in work.live_cols().tolist()
+        assert work.live_rows().tolist() == [0, 1, 2, 3]  # rows keep other entries
+        assert work.entry_cols[work.row_entry_ids(0)].tolist() == [3]
+        work.kill(work.row_entry_ids(2))  # (2, 4) — row 2 goes dark
+        assert work.live_rows().tolist() == [0, 1, 3]
+        assert work.live_cols().tolist() == [0, 3]
+        assert work.live_entry_ids().size == work.num_marked == 3
+
+    def test_view_is_independent_of_matrix(self):
+        m = PredictionMatrix(3, 3)
+        m.mark(0, 0)
+        m.mark(2, 2)
+        work = m.csr_view()
+        work.kill(work.live_entry_ids())
+        assert work.num_marked == 0
+        assert m.num_marked == 2
+
+    def test_empty_kill_is_a_noop(self, work):
+        work.kill(np.empty(0, dtype=np.int64))
+        assert work.num_marked == 6
+
+    def test_rejects_mismatched_coordinates(self):
+        with pytest.raises(ValueError):
+            CSRWorkMatrix(2, 2, np.asarray([0, 1]), np.asarray([0]))

@@ -1,6 +1,8 @@
 """Unit tests for the threshold algorithm helper."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.ta import threshold_argmin
 
@@ -66,3 +68,74 @@ class TestThresholdArgmin:
             best, cost = threshold_argmin(iter(a), iter(b), values.__getitem__)
             assert cost == min(values.values())
             assert values[best] == cost
+
+
+@st.composite
+def fagin_instances(draw):
+    """Fagin-setting inputs: every item scores in *both* lists, its exact
+    cost is the sum of the two scores, and each list is sorted by its own
+    score — the setting where the sum-of-heads threshold is a sound bound
+    on every unseen item."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    a_part = [float(draw(st.integers(min_value=0, max_value=6))) for _ in range(n)]
+    b_part = [float(draw(st.integers(min_value=0, max_value=6))) for _ in range(n)]
+    list_a = sorted((a_part[k], k) for k in range(n))
+    list_b = sorted((b_part[k], k) for k in range(n))
+    exact = {k: a_part[k] + b_part[k] for k in range(n)}
+    return list_a, list_b, exact
+
+
+@st.composite
+def zero_bound_instances(draw):
+    """CC's actual regime (see ``_cost_sorted``): every lower bound is 0,
+    items live in one list each (possibly all in one — the exhausted-list
+    path), and the narrow cost range makes ties common."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    exact = [float(draw(st.integers(min_value=0, max_value=5))) for _ in range(n)]
+    membership = [draw(st.sampled_from(["a", "b"])) for _ in range(n)]
+    list_a = [(0.0, k) for k in range(n) if membership[k] == "a"]
+    list_b = [(0.0, k) for k in range(n) if membership[k] == "b"]
+    return list_a, list_b, dict(enumerate(exact))
+
+
+class TestThresholdArgminProperty:
+    """TA must equal brute-force argmin in both regimes it is sound for."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(fagin_instances())
+    def test_matches_brute_force_on_fagin_instances(self, case):
+        self._assert_exact_argmin(*case)
+
+    @settings(max_examples=300, deadline=None)
+    @given(zero_bound_instances())
+    def test_matches_brute_force_on_zero_bounds(self, case):
+        self._assert_exact_argmin(*case)
+
+    @staticmethod
+    def _assert_exact_argmin(list_a, list_b, exact):
+        candidates = {k for _b, k in list_a} | {k for _b, k in list_b}
+        result = threshold_argmin(iter(list_a), iter(list_b), exact.__getitem__)
+        if not candidates:
+            assert result is None
+            return
+        best, cost = result
+        assert best in candidates
+        assert cost == exact[best]
+        assert cost == min(exact[k] for k in candidates)
+
+    @settings(max_examples=200, deadline=None)
+    @given(fagin_instances())
+    def test_evaluations_are_a_candidate_subset_without_repeats(self, case):
+        """Early stopping may skip items but must never evaluate one twice
+        or invent one outside the lists."""
+        list_a, list_b, exact = case
+        evaluated = []
+
+        def cost(item):
+            evaluated.append(item)
+            return exact[item]
+
+        threshold_argmin(iter(list_a), iter(list_b), cost)
+        candidates = {k for _b, k in list_a} | {k for _b, k in list_b}
+        assert len(evaluated) == len(set(evaluated))
+        assert set(evaluated) <= candidates
