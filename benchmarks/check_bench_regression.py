@@ -21,11 +21,15 @@ import json
 import sys
 
 # Sections whose ``speedup`` ratios are machine-independent contracts.
+# ``observability``'s ratio is join-seconds over summed no-op telemetry
+# call cost — both scale with the host, so the ratio gates the
+# NullRecorder's relative overhead.
 CHECKED_SECTIONS = (
     "refinement_kernels",
     "minkowski_gram_filter",
     "matrix_build",
     "clustering",
+    "observability",
 )
 MAX_SLOWDOWN = 2.0
 

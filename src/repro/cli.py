@@ -101,6 +101,11 @@ def _add_join(subcommands) -> None:
                      help="windows per page (sequence joins)")
     cmd.add_argument("--pairs-out", type=Path, default=None,
                      help="write result id pairs as CSV")
+    cmd.add_argument("--trace-out", type=Path, default=None,
+                     help="record a telemetry trace of the join to this file")
+    cmd.add_argument("--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+                     help="trace file format: JSONL events or Chrome "
+                          "trace-event JSON (open in Perfetto)")
     cmd.add_argument("--seed", type=int, default=0)
     cmd.set_defaults(handler=_run_join)
 
@@ -123,12 +128,24 @@ def _run_join(args) -> int:
         left = _sequence_dataset(args.left, args)
         right = left if args.right is None else _sequence_dataset(args.right, args)
 
+    recorder = None
+    if args.trace_out is not None:
+        from repro.obs import InMemoryRecorder, JsonlRecorder
+
+        # Chrome traces are exported from memory after the run; JSONL
+        # streams to disk as spans complete.
+        if args.trace_format == "chrome":
+            recorder = InMemoryRecorder()
+        else:
+            recorder = JsonlRecorder(args.trace_out)
+
     result = join(
         left, right, args.epsilon,
         method=args.method,
         buffer_pages=args.buffer_pages,
         seed=args.seed,
         count_only=args.pairs_out is None,
+        recorder=recorder,
     )
     report = result.report
     print(f"{result.num_pairs} pairs within epsilon={args.epsilon}")
@@ -139,6 +156,15 @@ def _run_join(args) -> int:
             for a, b in result.pairs:
                 handle.write(f"{a},{b}\n")
         print(f"pairs written to {args.pairs_out}")
+    if recorder is not None:
+        from repro.experiments.report import format_trace_summary
+        from repro.obs import write_chrome_trace
+
+        if args.trace_format == "chrome":
+            write_chrome_trace(recorder, args.trace_out)
+        recorder.close()
+        print(format_trace_summary(recorder, title="trace summary"))
+        print(f"trace ({args.trace_format}) written to {args.trace_out}")
     return 0
 
 

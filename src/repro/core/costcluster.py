@@ -48,6 +48,7 @@ import numpy as np
 from repro.core.clusters import Cluster
 from repro.core.prediction import CSRWorkMatrix, PredictionMatrix
 from repro.costmodel import CostModel
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = [
     "cost_clustering",
@@ -256,6 +257,7 @@ def cost_clustering(
     page_set_cost: Union[PageSetCost, LinearDiskModelCost],
     histogram_bins: int = _DEFAULT_HISTOGRAM_BINS,
     rng: np.random.Generator | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[List[Cluster], CostClusteringStats]:
     """Partition the marked entries into cost-minimal buffer-fitting clusters.
 
@@ -333,7 +335,18 @@ def cost_clustering(
         dead_csc_ids = _merge_sorted(dead_csc_ids, np.sort(csc_rank[assigned]))
         # Killed entries are invisible to every later query, so the
         # in_rect scratch needs no reset between clusters.
-        clusters.append(Cluster(cluster_id=len(clusters), entries=entries))
+        cluster = Cluster(cluster_id=len(clusters), entries=entries)
+        clusters.append(cluster)
+        if recorder.enabled:
+            recorder.observe("cc.cluster_entries", cluster.num_entries)
+            recorder.observe("cc.cluster_pages", cluster.num_pages)
+    # Mirror the growth-step counters into the metrics registry (the
+    # stats object remains the CPU-cost source of truth).
+    recorder.count("cc.clusters_built", len(clusters))
+    recorder.count("cc.seeds_drawn", stats.seeds_drawn)
+    recorder.count("cc.expansion_steps", stats.expansion_steps)
+    recorder.count("cc.cost_evaluations", stats.cost_evaluations)
+    recorder.count("cc.entries_scanned", stats.entries_scanned)
     return clusters, stats
 
 

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.clusters import Cluster
+from repro.obs.audit import LemmaAuditor
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PagedDataset
 
@@ -70,12 +72,20 @@ def execute_clusters(
     s_dataset: PagedDataset,
     page_pair_join: PagePairJoin,
     workers: int = 1,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ExecutionOutcome:
     """Process clusters in the given order; returns the measured outcome.
 
     ``workers > 1`` parallelises the page-pair joins across a thread pool
     (one task per cluster) without changing any simulated I/O count or
     the result; see the module docstring for the determinism argument.
+
+    With a recording ``recorder``, each cluster is additionally audited
+    against the paper's Lemma 1/2 read bounds: the disk-transfer delta
+    observed while staging and joining the cluster must not exceed
+    ``min(e + min(r, c), r + c)`` (see :class:`~repro.obs.audit.LemmaAuditor`).
+    The audit reads the disk counters on the main thread only, so it is
+    identical under serial and parallel execution.
 
     Raises ``ValueError`` if any cluster does not fit the pool's available
     frames (Lemma 2's precondition — clustering must have enforced it).
@@ -87,32 +97,60 @@ def execute_clusters(
     outcome = ExecutionOutcome()
     r_id = r_dataset.dataset_id
     s_id = s_dataset.dataset_id
+    auditor: Optional[LemmaAuditor] = (
+        LemmaAuditor(recorder) if recorder.enabled else None
+    )
+    disk_stats = pool.disk.stats
     if workers == 1:
-        for cluster in ordered_clusters:
-            _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
-            for row, col in cluster.entries:
-                r_payload = pool.fetch(r_id, row)
-                s_payload = pool.fetch(s_id, col)
-                outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
+        for index, cluster in enumerate(ordered_clusters):
+            transfers_before = disk_stats.transfers
+            with recorder.span("execute.cluster"):
+                _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+                for row, col in cluster.entries:
+                    r_payload = pool.fetch(r_id, row)
+                    s_payload = pool.fetch(s_id, col)
+                    outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
+            if auditor is not None:
+                auditor.check_cluster(
+                    cluster, disk_stats.transfers - transfers_before, index
+                )
+        recorder.count("executor.clusters", len(ordered_clusters))
+        recorder.count("executor.pages_read", outcome.pages_read)
+        recorder.count("executor.pages_reused", outcome.pages_reused)
         return outcome
 
     futures: List[Future] = []
     with ThreadPoolExecutor(max_workers=workers) as executor:
-        for cluster in ordered_clusters:
-            _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
-            # Fetch on the main thread, in entry order: the buffer/disk
-            # state transitions replay the serial run exactly.  Payload
-            # references stay valid after eviction — eviction drops the
-            # frame, not the in-memory array the frame pointed at.
-            work: _ClusterWork = [
-                (row, col, pool.fetch(r_id, row), pool.fetch(s_id, col))
-                for row, col in cluster.entries
-            ]
+        for index, cluster in enumerate(ordered_clusters):
+            transfers_before = disk_stats.transfers
+            # The span covers staging + fetches only — the joins run on
+            # worker threads and appear as their own (parentless,
+            # per-thread) ``execute.refine`` spans.
+            with recorder.span("execute.cluster"):
+                _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+                # Fetch on the main thread, in entry order: the buffer/disk
+                # state transitions replay the serial run exactly.  Payload
+                # references stay valid after eviction — eviction drops the
+                # frame, not the in-memory array the frame pointed at.
+                work: _ClusterWork = [
+                    (row, col, pool.fetch(r_id, row), pool.fetch(s_id, col))
+                    for row, col in cluster.entries
+                ]
+            if auditor is not None:
+                # All of a cluster's physical reads happen above (the
+                # worker only touches resident payloads), so the delta is
+                # complete here — same instant as the serial audit.
+                auditor.check_cluster(
+                    cluster, disk_stats.transfers - transfers_before, index
+                )
             futures.append(executor.submit(_join_cluster, page_pair_join, work))
         # Merge in schedule order regardless of completion order.
         for future in futures:
             for result in future.result():
                 outcome.absorb(result)
+    recorder.count("executor.clusters", len(ordered_clusters))
+    recorder.count("executor.pages_read", outcome.pages_read)
+    recorder.count("executor.pages_reused", outcome.pages_reused)
     return outcome
 
 

@@ -33,6 +33,7 @@ from typing import Iterable, Optional, Tuple
 import numpy as np
 
 from repro.geometry import BoxArray, Rect, as_box_array
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["FilterOutcome", "iterative_filter", "brinkhoff_filter"]
 
@@ -71,6 +72,7 @@ def iterative_filter(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     cover_left: Optional[Rect] = None,
     cover_right: Optional[Rect] = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> FilterOutcome:
     """Run the paper's iterative filter over two child-MBR sets.
 
@@ -125,6 +127,12 @@ def iterative_filter(
         changed_r, cov_r = _clip_side(lo_r, hi_r, alive_r, j_lo, j_hi)
         if not alive_l.any() or not alive_r.any():
             return _empty_outcome(n_left, n_right, rounds)
+        if recorder.enabled:
+            # Rounds that end empty are not observed here; the caller's
+            # ``filter.children_filtered`` counter covers them.
+            recorder.observe(
+                "filter.round_survivors", int(alive_l.sum()) + int(alive_r.sum())
+            )
         if not (changed_l or changed_r):
             break
     return FilterOutcome(keep_left=alive_l, keep_right=alive_r, rounds=rounds)

@@ -41,7 +41,6 @@ Example
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -63,6 +62,7 @@ from repro.index.mr import MRIndex
 from repro.index.mrs import MRSIndex
 from repro.index.node import PageIndex
 from repro.index.rstar import build_spatial_page_index
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import SequencePagedDataset, VectorPagedDataset
@@ -284,6 +284,7 @@ def join(
     buffer_policy: str = "lru",
     workers: int = 1,
     matrix_cache: "str | Path | None" = None,
+    recorder: Optional[Recorder] = None,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -321,6 +322,14 @@ def join(
         Competitor methods (which build no matrix) ignore it.  See
         :func:`repro.storage.persist.invalidate_matrix_cache` to clear
         entries.
+    recorder:
+        A :class:`repro.obs.Recorder` collecting span traces and metrics
+        for this join (see :mod:`repro.obs`).  ``None`` (the default)
+        uses the zero-overhead null recorder.  Every stage of the join —
+        matrix build, filtering, clustering, scheduling, execution,
+        refinement — appears as a named span, and the reported
+        ``extra["stage_seconds"]`` values are exactly the top-level stage
+        span durations.
     """
     if method not in JOIN_METHODS:
         raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
@@ -330,28 +339,32 @@ def join(
         raise ValueError(f"cannot join datasets of kinds {r.kind!r} and {s.kind!r}")
 
     model = cost_model or DEFAULT_COST_MODEL
+    rec = recorder if recorder is not None else NULL_RECORDER
     self_join = r is s
-    disk = SimulatedDisk(model)
+    disk = SimulatedDisk(model, recorder=rec)
     pool = BufferPool(disk, buffer_pages, policy=buffer_policy)
     pool.attach(r.paged)
     pool.attach(s.paged)
-    joiner = _make_joiner(r, s, epsilon, model, self_join, not count_only)
+    joiner = _make_joiner(r, s, epsilon, model, self_join, not count_only, rec)
 
     if method in ("ego", "bfrj", "ekdb", "zorder"):
         return _run_competitor(
-            method, r, s, epsilon, pool, joiner, model, self_join, not count_only
+            method, r, s, epsilon, pool, joiner, model, self_join, not count_only,
+            rec,
         )
 
     # Wall-clock per stage (host seconds, not simulated-model seconds);
-    # the harness report prints these next to the modelled costs.
+    # the harness report prints these next to the modelled costs.  Spans
+    # time even under the null recorder, so stage_seconds always equals
+    # the stage span durations exactly.
     stage_seconds = {"matrix": 0.0, "clustering": 0.0, "scheduling": 0.0, "execution": 0.0}
-    tick = time.perf_counter()
-    matrix, sweep_stats, cache_state = _build_or_load_matrix(
-        r, s, epsilon, max_filter_rounds, matrix_cache
-    )
-    if self_join:
-        matrix.keep_upper_triangle()
-    stage_seconds["matrix"] = time.perf_counter() - tick
+    with rec.span("join.matrix") as matrix_span:
+        matrix, sweep_stats, cache_state = _build_or_load_matrix(
+            r, s, epsilon, max_filter_rounds, matrix_cache, rec
+        )
+        if self_join:
+            matrix.keep_upper_triangle()
+    stage_seconds["matrix"] = matrix_span.duration
     matrix_seconds = model.cpu_cost(sweep_stats.total_operations)
 
     preprocess_seconds = 0.0
@@ -359,29 +372,30 @@ def join(
     if method == "nlj":
         from repro.baselines.nlj import block_nlj
 
-        tick = time.perf_counter()
-        outcome = block_nlj(matrix, pool, r, s, joiner, epsilon, model)
-        stage_seconds["execution"] = time.perf_counter() - tick
+        with rec.span("join.execution") as exec_span:
+            outcome = block_nlj(matrix, pool, r, s, joiner, epsilon, model)
+        stage_seconds["execution"] = exec_span.duration
     elif method == "pm-nlj":
-        tick = time.perf_counter()
-        outcome = pm_nlj_join(matrix, pool, r.paged, s.paged, joiner)
-        stage_seconds["execution"] = time.perf_counter() - tick
+        with rec.span("join.execution") as exec_span:
+            outcome = pm_nlj_join(matrix, pool, r.paged, s.paged, joiner)
+        stage_seconds["execution"] = exec_span.duration
     else:  # sc, rand-sc, cc
-        tick = time.perf_counter()
-        clusters, cluster_ops = _build_clusters(
-            method, matrix, buffer_pages, disk, r, s, seed,
-            sc_target_aspect, cc_histogram_bins,
-        )
-        tock = time.perf_counter()
-        stage_seconds["clustering"] = tock - tick
-        ordered, ordering_ops = _order_clusters(method, clusters, r, s, seed)
-        tick = time.perf_counter()
-        stage_seconds["scheduling"] = tick - tock
+        with rec.span("join.clustering") as cluster_span:
+            clusters, cluster_ops = _build_clusters(
+                method, matrix, buffer_pages, disk, r, s, seed,
+                sc_target_aspect, cc_histogram_bins, rec,
+            )
+        stage_seconds["clustering"] = cluster_span.duration
+        with rec.span("join.scheduling") as schedule_span:
+            ordered, ordering_ops = _order_clusters(method, clusters, r, s, seed, rec)
+        stage_seconds["scheduling"] = schedule_span.duration
         preprocess_seconds = model.cpu_cost(cluster_ops + ordering_ops)
-        outcome = execute_clusters(
-            ordered, pool, r.paged, s.paged, joiner, workers=workers
-        )
-        stage_seconds["execution"] = time.perf_counter() - tick
+        with rec.span("join.execution") as exec_span:
+            outcome = execute_clusters(
+                ordered, pool, r.paged, s.paged, joiner, workers=workers,
+                recorder=rec,
+            )
+        stage_seconds["execution"] = exec_span.duration
         clusters = ordered
 
     report = _assemble_report(
@@ -411,6 +425,7 @@ def _build_or_load_matrix(
     epsilon: float,
     max_filter_rounds: int,
     matrix_cache: "str | Path | None",
+    recorder: Recorder = NULL_RECORDER,
 ):
     """The prediction matrix plus its sweep stats and cache disposition.
 
@@ -430,6 +445,7 @@ def _build_or_load_matrix(
         matrix, sweep_stats = build_prediction_matrix(
             r.index.root, s.index.root, epsilon,
             r.num_pages, s.num_pages, max_filter_rounds=max_filter_rounds,
+            recorder=recorder,
         )
         return matrix, sweep_stats, "off"
     key = matrix_cache_key(
@@ -439,26 +455,30 @@ def _build_or_load_matrix(
     if matrix is not None:
         from repro.core.sweep import SweepStats
 
+        if recorder.enabled:
+            recorder.count("matrix.cache_hits")
         return matrix, SweepStats(), "hit"
     matrix, sweep_stats = build_prediction_matrix(
         r.index.root, s.index.root, epsilon,
         r.num_pages, s.num_pages, max_filter_rounds=max_filter_rounds,
+        recorder=recorder,
     )
     save_matrix(matrix, matrix_cache, key)
     return matrix, sweep_stats, "miss"
 
 
-def _make_joiner(r, s, epsilon, model, self_join, collect_pairs):
+def _make_joiner(r, s, epsilon, model, self_join, collect_pairs,
+                 recorder: Recorder = NULL_RECORDER):
     if r.kind == "text":
         assert r.features is not None and s.features is not None
         return make_text_joiner(
             r.paged, s.paged, r.features, s.features, epsilon, model, self_join,
-            collect_pairs=collect_pairs,
+            collect_pairs=collect_pairs, recorder=recorder,
         )
     assert r.distance is not None
     return make_numeric_joiner(
         r.paged, s.paged, r.distance, epsilon, model, self_join,
-        collect_pairs=collect_pairs,
+        collect_pairs=collect_pairs, recorder=recorder,
     )
 
 
@@ -472,6 +492,7 @@ def _build_clusters(
     seed: int,
     sc_target_aspect: float,
     cc_histogram_bins: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[List[Cluster], int]:
     if method == "cc":
         # The incremental cost specialisation of the disk's contiguous
@@ -488,10 +509,11 @@ def _build_clusters(
             page_set_cost,
             histogram_bins=cc_histogram_bins,
             rng=np.random.default_rng(seed),
+            recorder=recorder,
         )
         return clusters, stats.total_operations
     clusters, stats = square_clustering(
-        matrix, buffer_pages, target_aspect=sc_target_aspect
+        matrix, buffer_pages, target_aspect=sc_target_aspect, recorder=recorder
     )
     return clusters, stats.total_operations
 
@@ -502,58 +524,62 @@ def _order_clusters(
     r: IndexedDataset,
     s: IndexedDataset,
     seed: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[List[Cluster], int]:
     """Schedule clusters; returns (ordered, op count for CPU accounting)."""
     if method == "rand-sc":
         rng = np.random.default_rng(seed)
         ordered = [clusters[k] for k in rng.permutation(len(clusters))]
         return ordered, len(clusters)
-    ordered = greedy_cluster_order(clusters, r.paged.dataset_id, s.paged.dataset_id)
+    ordered = greedy_cluster_order(
+        clusters, r.paged.dataset_id, s.paged.dataset_id, recorder=recorder
+    )
     # Sharing-graph construction inspects every cluster pair's page sets.
     return ordered, len(clusters) * max(1, len(clusters) - 1) // 2
 
 
 def _run_competitor(
-    method, r, s, epsilon, pool, joiner, model, self_join, collect_pairs
+    method, r, s, epsilon, pool, joiner, model, self_join, collect_pairs,
+    recorder: Recorder = NULL_RECORDER,
 ) -> JoinResult:
-    tick = time.perf_counter()
-    if method == "ego":
-        from repro.baselines.ego import ego_join
+    with recorder.span("join.execution") as exec_span:
+        if method == "ego":
+            from repro.baselines.ego import ego_join
 
-        outcome, preprocess_seconds, extra = ego_join(
-            r, s, epsilon, pool, joiner, model, self_join,
-            collect_pairs=collect_pairs,
-        )
-    elif method == "ekdb":
-        from repro.baselines.ekdb import ekdb_join
-
-        if r.kind != "vector":
-            raise ValueError(
-                "method 'ekdb' joins point data only (the epsilon-kdB tree "
-                "cannot tile sequence windows without replicating them)"
+            outcome, preprocess_seconds, extra = ego_join(
+                r, s, epsilon, pool, joiner, model, self_join,
+                collect_pairs=collect_pairs,
             )
-        outcome, preprocess_seconds, extra = ekdb_join(
-            r, s, epsilon, pool, model, self_join,
-            collect_pairs=collect_pairs,
-        )
-    elif method == "zorder":
-        from repro.baselines.zorder import zorder_join
+        elif method == "ekdb":
+            from repro.baselines.ekdb import ekdb_join
 
-        if r.kind != "vector":
-            raise ValueError(
-                "method 'zorder' joins point data only (sequence windows "
-                "cannot be re-sorted along the curve)"
+            if r.kind != "vector":
+                raise ValueError(
+                    "method 'ekdb' joins point data only (the epsilon-kdB tree "
+                    "cannot tile sequence windows without replicating them)"
+                )
+            outcome, preprocess_seconds, extra = ekdb_join(
+                r, s, epsilon, pool, model, self_join,
+                collect_pairs=collect_pairs,
             )
-        outcome, preprocess_seconds, extra = zorder_join(
-            r, s, epsilon, pool, model, self_join,
-            collect_pairs=collect_pairs,
-        )
-    else:
-        from repro.baselines.bfrj import bfrj_join
+        elif method == "zorder":
+            from repro.baselines.zorder import zorder_join
 
-        outcome, preprocess_seconds, extra = bfrj_join(
-            r, s, epsilon, pool, joiner, model, self_join
-        )
+            if r.kind != "vector":
+                raise ValueError(
+                    "method 'zorder' joins point data only (sequence windows "
+                    "cannot be re-sorted along the curve)"
+                )
+            outcome, preprocess_seconds, extra = zorder_join(
+                r, s, epsilon, pool, model, self_join,
+                collect_pairs=collect_pairs,
+            )
+        else:
+            from repro.baselines.bfrj import bfrj_join
+
+            outcome, preprocess_seconds, extra = bfrj_join(
+                r, s, epsilon, pool, joiner, model, self_join
+            )
     # Competitors interleave their preprocessing with execution, so the
     # whole run is charged to the execution stage.
     extra = dict(extra)
@@ -561,7 +587,7 @@ def _run_competitor(
         "matrix": 0.0,
         "clustering": 0.0,
         "scheduling": 0.0,
-        "execution": time.perf_counter() - tick,
+        "execution": exec_span.duration,
     }
     report = _assemble_report(
         method, preprocess_seconds, outcome, pool.disk, matrix_seconds=0.0, extra=extra

@@ -16,6 +16,7 @@ Two kernels exist:
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from repro.costmodel import CostModel
 from repro.distance.vector import MinkowskiDistance
 from repro.kernels.edit import edit_batch
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.page import PagedDataset, SequencePagedDataset
 
 __all__ = [
@@ -45,23 +47,43 @@ def make_numeric_joiner(
     cost_model: CostModel,
     self_join: bool,
     collect_pairs: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Callable[[int, int, object, object], JoinerResult]:
     """Joiner for vector pages (point, spatial, time-series windows)."""
+    # Third-party JoinDistance implementations may predate the recorder
+    # protocol; probe once at factory time, not per page pair.
+    forward_recorder = _accepts_recorder(distance.pairs_within)
 
     def join_pages(row: int, col: int, r_payload, s_payload) -> JoinerResult:
         left = np.asarray(r_payload)
         right = np.asarray(s_payload)
-        local = distance.pairs_within(left, right, epsilon)
-        comparisons = left.shape[0] * right.shape[0]
-        cpu = cost_model.cpu_cost(comparisons, distance.comparison_weight)
-        if self_join and row == col:
-            local = [(a, b) for a, b in local if a < b]
+        with recorder.span("execute.refine"):
+            if forward_recorder:
+                local = distance.pairs_within(left, right, epsilon, recorder=recorder)
+            else:
+                local = distance.pairs_within(left, right, epsilon)
+            comparisons = left.shape[0] * right.shape[0]
+            cpu = cost_model.cpu_cost(comparisons, distance.comparison_weight)
+            if self_join and row == col:
+                local = [(a, b) for a, b in local if a < b]
+        if recorder.enabled:
+            recorder.count("refine.page_pairs")
+            recorder.count("refine.comparisons", comparisons)
+            recorder.count("refine.pairs_found", len(local))
         if collect_pairs:
             pairs = _globalise(local, r_dataset, s_dataset, row, col)
             return pairs, len(pairs), comparisons, cpu
         return [], len(local), comparisons, cpu
 
     return join_pages
+
+
+def _accepts_recorder(pairs_within: Callable) -> bool:
+    """True when a distance's ``pairs_within`` takes a ``recorder``."""
+    try:
+        return "recorder" in inspect.signature(pairs_within).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
 
 
 def text_dp_weight(window_length: int, epsilon: float) -> float:
@@ -79,6 +101,7 @@ def make_text_joiner(
     cost_model: CostModel,
     self_join: bool,
     collect_pairs: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Callable[[int, int, object, object], JoinerResult]:
     """Joiner for string windows: frequency filter, then banded DP.
 
@@ -95,54 +118,66 @@ def make_text_joiner(
     def join_pages(row: int, col: int, r_payload, s_payload) -> JoinerResult:
         r_windows: Sequence[str] = r_payload
         s_windows: Sequence[str] = s_payload
-        r_start, _ = r_dataset.window_range(row)
-        s_start, _ = s_dataset.window_range(col)
-        fr = r_features[r_start : r_start + len(r_windows)]
-        fs = s_features[s_start : s_start + len(s_windows)]
+        with recorder.span("execute.refine"):
+            r_start, _ = r_dataset.window_range(row)
+            s_start, _ = s_dataset.window_range(col)
+            fr = r_features[r_start : r_start + len(r_windows)]
+            fs = s_features[s_start : s_start + len(s_windows)]
 
-        # Stage 1 — frequency-distance filter, vectorised: FD = max(sum of
-        # positive diffs, sum of negative diffs) <= edit distance.
-        diff = fs[None, :, :] - fr[:, None, :]
-        positive = np.clip(diff, 0.0, None).sum(axis=2)
-        negative = np.clip(-diff, 0.0, None).sum(axis=2)
-        fd = np.maximum(positive, negative)
-        cand_a, cand_b = np.nonzero(fd <= epsilon)
-        if self_join and row == col:
-            keep = cand_a < cand_b
-            cand_a, cand_b = cand_a[keep], cand_b[keep]
+            # Stage 1 — frequency-distance filter, vectorised: FD = max(sum
+            # of positive diffs, sum of negative diffs) <= edit distance.
+            diff = fs[None, :, :] - fr[:, None, :]
+            positive = np.clip(diff, 0.0, None).sum(axis=2)
+            negative = np.clip(-diff, 0.0, None).sum(axis=2)
+            fd = np.maximum(positive, negative)
+            cand_a, cand_b = np.nonzero(fd <= epsilon)
+            if self_join and row == col:
+                keep = cand_a < cand_b
+                cand_a, cand_b = cand_a[keep], cand_b[keep]
 
-        # Stage 2 — Hamming filter, vectorised over candidates.  Windows
-        # have equal length, so Hamming(a, b) >= ED(a, b): Hamming <= eps
-        # accepts outright.  The converse rejection holds at eps <= 1 (one
-        # edit between equal-length strings must be a substitution); above
-        # that, survivors fall through to the batched banded DP
-        # (one kernel call per page pair, shared abandon threshold).
-        local: List[Tuple[int, int]] = []
-        dp_runs = 0
-        if cand_a.size:
-            hamming = np.count_nonzero(
-                windows_r[r_start + cand_a] != windows_s[s_start + cand_b], axis=1
+            # Stage 2 — Hamming filter, vectorised over candidates.  Windows
+            # have equal length, so Hamming(a, b) >= ED(a, b): Hamming <= eps
+            # accepts outright.  The converse rejection holds at eps <= 1 (one
+            # edit between equal-length strings must be a substitution); above
+            # that, survivors fall through to the batched banded DP
+            # (one kernel call per page pair, shared abandon threshold).
+            local: List[Tuple[int, int]] = []
+            dp_runs = 0
+            if cand_a.size:
+                hamming = np.count_nonzero(
+                    windows_r[r_start + cand_a] != windows_s[s_start + cand_b], axis=1
+                )
+                accepted = hamming <= epsilon
+                for a, b in zip(cand_a[accepted].tolist(), cand_b[accepted].tolist()):
+                    local.append((int(a), int(b)))
+                if limit >= 2:
+                    rej_a, rej_b = cand_a[~accepted], cand_b[~accepted]
+                    dp_runs = int(rej_a.size)
+                    if dp_runs:
+                        dists = edit_batch(
+                            windows_r[r_start + rej_a],
+                            windows_s[s_start + rej_b],
+                            limit,
+                            recorder=recorder,
+                        )
+                        survived = dists <= epsilon
+                        for a, b in zip(
+                            rej_a[survived].tolist(), rej_b[survived].tolist()
+                        ):
+                            local.append((int(a), int(b)))
+
+            cheap = len(r_windows) * len(s_windows)
+            cpu = (
+                cost_model.cpu_cost(cheap, 1.0)
+                + cost_model.cpu_cost(int(cand_a.size), float(w) / 8.0)
+                + cost_model.cpu_cost(dp_runs, dp_weight)
             )
-            accepted = hamming <= epsilon
-            for a, b in zip(cand_a[accepted].tolist(), cand_b[accepted].tolist()):
-                local.append((int(a), int(b)))
-            if limit >= 2:
-                rej_a, rej_b = cand_a[~accepted], cand_b[~accepted]
-                dp_runs = int(rej_a.size)
-                if dp_runs:
-                    dists = edit_batch(
-                        windows_r[r_start + rej_a], windows_s[s_start + rej_b], limit
-                    )
-                    survived = dists <= epsilon
-                    for a, b in zip(rej_a[survived].tolist(), rej_b[survived].tolist()):
-                        local.append((int(a), int(b)))
-
-        cheap = len(r_windows) * len(s_windows)
-        cpu = (
-            cost_model.cpu_cost(cheap, 1.0)
-            + cost_model.cpu_cost(int(cand_a.size), float(w) / 8.0)
-            + cost_model.cpu_cost(dp_runs, dp_weight)
-        )
+        if recorder.enabled:
+            recorder.count("refine.page_pairs")
+            recorder.count("refine.comparisons", cheap + dp_runs)
+            recorder.count("refine.pairs_found", len(local))
+            recorder.count("text.fd_candidates", int(cand_a.size))
+            recorder.count("text.dp_runs", dp_runs)
         if collect_pairs:
             pairs = _globalise(local, r_dataset, s_dataset, row, col)
             return pairs, len(pairs), cheap + dp_runs, cpu

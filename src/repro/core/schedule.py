@@ -24,6 +24,7 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.clusters import Cluster
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["sharing_graph", "greedy_cluster_order", "schedule_savings"]
 
@@ -51,6 +52,7 @@ def greedy_cluster_order(
     clusters: Sequence[Cluster],
     r_dataset_id: Hashable,
     s_dataset_id: Hashable,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[Cluster]:
     """Order clusters along a greedy maximum-weight path of the sharing graph.
 
@@ -64,8 +66,12 @@ def greedy_cluster_order(
     # _sharing_edges i-major already, so a stable sort on the negated
     # weight alone reproduces sorting dict items by (-weight, (i, j)).
     rank = np.argsort(-ww, kind="stable")
-    chosen = _greedy_path_edges(len(clusters), _lazy_pairs(ii, jj, rank))
+    chosen, considered = _greedy_path_edges(len(clusters), _lazy_pairs(ii, jj, rank))
     order = _walk_fragments(len(clusters), chosen)
+    recorder.count("schedule.clusters", len(clusters))
+    recorder.count("schedule.sharing_edges", int(ww.size))
+    recorder.count("schedule.edges_considered", considered)
+    recorder.count("schedule.edges_selected", len(chosen))
     return [clusters[k] for k in order]
 
 
@@ -141,11 +147,14 @@ def _lazy_pairs(
         yield from zip(ii[sel].tolist(), jj[sel].tolist())
 
 
-def _greedy_path_edges(num_vertices: int, ordered_edges: Iterable[Edge]) -> List[Edge]:
+def _greedy_path_edges(
+    num_vertices: int, ordered_edges: Iterable[Edge]
+) -> Tuple[List[Edge], int]:
     """Edge selection under degree-<=2 and acyclicity.
 
     ``ordered_edges`` must already be sorted heaviest first with ties by
-    ascending ``(i, j)``.
+    ascending ``(i, j)``.  Returns ``(chosen, considered)`` where
+    ``considered`` counts the edges examined before the selection closed.
     """
     parent = list(range(num_vertices))
 
@@ -157,7 +166,9 @@ def _greedy_path_edges(num_vertices: int, ordered_edges: Iterable[Edge]) -> List
 
     degree = [0] * num_vertices
     chosen: List[Edge] = []
+    considered = 0
     for i, j in ordered_edges:
+        considered += 1
         if degree[i] >= 2 or degree[j] >= 2:
             continue
         root_i, root_j = find(i), find(j)
@@ -172,7 +183,7 @@ def _greedy_path_edges(num_vertices: int, ordered_edges: Iterable[Edge]) -> List
             # Hamiltonian path; every remaining edge would close a cycle
             # or exceed a degree, so it would be rejected anyway.
             break
-    return chosen
+    return chosen, considered
 
 
 def _walk_fragments(num_vertices: int, chosen: List[Edge]) -> List[int]:

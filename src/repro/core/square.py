@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.clusters import Cluster
 from repro.core.prediction import CSRWorkMatrix, PredictionMatrix
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["square_clustering", "SquareClusteringStats"]
 
@@ -64,6 +65,7 @@ def square_clustering(
     matrix: PredictionMatrix,
     buffer_pages: int,
     target_aspect: float = 1.0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[List[Cluster], SquareClusteringStats]:
     """Partition the marked entries into buffer-fitting square-ish clusters.
 
@@ -106,8 +108,17 @@ def square_clustering(
         assigned_ids = _build_one_cluster(work, buffer_pages, target_rows, patience, stats)
         entries = _sorted_entry_tuples(work, assigned_ids)
         work.kill(assigned_ids)
-        clusters.append(Cluster(cluster_id=len(clusters), entries=entries))
+        cluster = Cluster(cluster_id=len(clusters), entries=entries)
+        clusters.append(cluster)
         stats.clusters_built += 1
+        if recorder.enabled:
+            recorder.observe("sc.cluster_entries", cluster.num_entries)
+            recorder.observe("sc.cluster_pages", cluster.num_pages)
+    # Mirror the growth-step counters into the metrics registry (the
+    # stats object remains the CPU-cost source of truth).
+    recorder.count("sc.clusters_built", stats.clusters_built)
+    recorder.count("sc.columns_scanned", stats.columns_scanned)
+    recorder.count("sc.entries_scanned", stats.entries_scanned)
     return clusters, stats
 
 

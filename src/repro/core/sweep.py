@@ -35,6 +35,7 @@ from repro.core.filtering import DEFAULT_MAX_ROUNDS, iterative_filter
 from repro.core.prediction import PredictionMatrix
 from repro.geometry import BoxArray, Rect
 from repro.index.node import IndexNode
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["SweepStats", "sweep_pairs", "block_sweep_pairs", "build_prediction_matrix"]
 
@@ -166,6 +167,7 @@ def build_prediction_matrix(
     num_rows: int,
     num_cols: int,
     max_filter_rounds: int = DEFAULT_MAX_ROUNDS,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Tuple[PredictionMatrix, SweepStats]:
     """Figure 1's algorithm PM over two index hierarchies.
 
@@ -178,14 +180,22 @@ def build_prediction_matrix(
     matrix = PredictionMatrix(num_rows, num_cols)
     stats = SweepStats()
     half = epsilon / 2.0
-    _descend(
-        _Group.of_single(root_r),
-        _Group.of_single(root_s),
-        half,
-        matrix,
-        stats,
-        max_filter_rounds,
-    )
+    with recorder.span("matrix.sweep"):
+        _descend(
+            _Group.of_single(root_r),
+            _Group.of_single(root_s),
+            half,
+            matrix,
+            stats,
+            max_filter_rounds,
+            recorder,
+        )
+    recorder.count("sweep.endpoints_processed", stats.endpoints_processed)
+    recorder.count("sweep.candidate_pairs", stats.intersection_tests)
+    recorder.count("sweep.node_pairs_expanded", stats.node_pairs_expanded)
+    recorder.count("sweep.leaf_pairs_marked", stats.leaf_pairs_marked)
+    recorder.count("filter.rounds", stats.filter_rounds)
+    recorder.count("filter.children_filtered", stats.filtered_children)
     return matrix, stats
 
 
@@ -239,18 +249,23 @@ def _descend(
     matrix: PredictionMatrix,
     stats: SweepStats,
     max_filter_rounds: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> None:
     extended_r = group_r.bounds.extend(half_epsilon)
     extended_s = group_s.bounds.extend(half_epsilon)
+    if recorder.enabled:
+        recorder.observe("sweep.block_size", len(group_r) + len(group_s))
 
     if max_filter_rounds > 0 and len(group_r) > 1 and len(group_s) > 1:
-        outcome = iterative_filter(
-            extended_r,
-            extended_s,
-            max_filter_rounds,
-            cover_left=group_r.cover.extend(half_epsilon),
-            cover_right=group_s.cover.extend(half_epsilon),
-        )
+        with recorder.span("matrix.filter"):
+            outcome = iterative_filter(
+                extended_r,
+                extended_s,
+                max_filter_rounds,
+                cover_left=group_r.cover.extend(half_epsilon),
+                cover_right=group_s.cover.extend(half_epsilon),
+                recorder=recorder,
+            )
         stats.filter_rounds += outcome.rounds
         stats.filtered_children += int((~outcome.keep_left).sum()) + int(
             (~outcome.keep_right).sum()
@@ -281,4 +296,5 @@ def _descend(
             matrix,
             stats,
             max_filter_rounds,
+            recorder,
         )

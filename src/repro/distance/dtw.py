@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.geometry import Rect
 from repro.kernels.dtw import batch_envelopes, dtw_batch, lb_keogh_block
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["dtw_distance", "envelope", "envelope_box", "DTWDistance"]
 
@@ -141,6 +142,7 @@ class DTWDistance:
         left: np.ndarray,
         right: np.ndarray,
         epsilon: float,
+        recorder: Recorder = NULL_RECORDER,
     ) -> List[Tuple[int, int]]:
         """Envelope-filtered exact DTW join of two window arrays.
 
@@ -157,10 +159,16 @@ class DTWDistance:
         lowers, uppers = batch_envelopes(right_arr, self.band)
         keogh = lb_keogh_block(left_arr, lowers, uppers)
         cand_i, cand_k = np.nonzero(keogh <= epsilon)
+        if recorder.enabled:
+            recorder.count(
+                "kernel.dtw.pairs_tested", left_arr.shape[0] * right_arr.shape[0]
+            )
+            recorder.count("kernel.dtw.keogh_candidates", int(cand_i.size))
         if cand_i.size == 0:
             return []
         dists = dtw_batch(
-            left_arr[cand_i], right_arr[cand_k], self.band, max_dist=epsilon
+            left_arr[cand_i], right_arr[cand_k], self.band, max_dist=epsilon,
+            recorder=recorder,
         )
         keep = dists <= epsilon
         return list(zip(cand_i[keep].tolist(), cand_k[keep].tolist()))

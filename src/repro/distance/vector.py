@@ -14,6 +14,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.kernels.minkowski import minkowski_pairs, minkowski_pairwise
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = [
     "MinkowskiDistance",
@@ -66,13 +67,16 @@ class MinkowskiDistance:
         left: np.ndarray,
         right: np.ndarray,
         epsilon: float,
+        recorder: Recorder = NULL_RECORDER,
     ) -> List[Tuple[int, int]]:
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
         # The kernel's Gram prefilter never decides acceptance: every
         # candidate is re-evaluated with the exact difference form, so
         # epsilon = 0 joins still see identical points at distance zero.
-        return minkowski_pairs(left, right, epsilon, self.p, chunk_rows=_CHUNK_ROWS)
+        return minkowski_pairs(
+            left, right, epsilon, self.p, chunk_rows=_CHUNK_ROWS, recorder=recorder
+        )
 
     def __repr__(self) -> str:
         return f"MinkowskiDistance(p={self.p})"

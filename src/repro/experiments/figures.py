@@ -297,6 +297,7 @@ def figure10(
     buffer_pages: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
+    recorder=None,
 ) -> CostBreakdownResult:
     """Figure 10: cost breakdown, LBeach × MCounty.
 
@@ -315,6 +316,7 @@ def figure10(
         buffer_pages=buffer_pages,
         cost_model=cost_model,
         seed=seed,
+        recorder=recorder,
     )
     return CostBreakdownResult("Figure 10 (LBeach x MCounty)", runs, PAPER_FIGURE10)
 
@@ -324,6 +326,7 @@ def figure11(
     buffer_pages: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
+    recorder=None,
 ) -> CostBreakdownResult:
     """Figure 11: cost breakdown, HChr18 self join (paper: B = 100 of 1032).
 
@@ -341,6 +344,7 @@ def figure11(
         buffer_pages=buffer_pages,
         cost_model=cost_model or GENOME_COST_MODEL,
         seed=seed,
+        recorder=recorder,
     )
     return CostBreakdownResult("Figure 11 (HChr18 self join)", runs, PAPER_FIGURE11)
 

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.join import IndexedDataset, join
 from repro.costmodel import CostModel
 from repro.errors import InfeasibleBufferError
+from repro.obs.recorder import Recorder
 from repro.storage.stats import CostReport
 
 __all__ = ["MethodRun", "run_methods", "sweep_buffer_sizes"]
@@ -48,6 +49,7 @@ def run_methods(
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
     matrix_cache: "str | None" = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[str, MethodRun]:
     """Run each method once; infeasible methods yield ``report=None``.
 
@@ -56,7 +58,9 @@ def run_methods(
     ``matrix_cache`` set, the matrix-based methods share one cached
     prediction matrix instead of rebuilding it per method — the first
     method pays the sweep, the rest load (their ``matrix_seconds`` drop
-    to zero, which is the honest accounting: they ran no sweep).
+    to zero, which is the honest accounting: they ran no sweep).  A
+    ``recorder`` is shared by every method's join, so its trace carries
+    one span tree per method run back to back.
     """
     runs: Dict[str, MethodRun] = {}
     for method in methods:
@@ -69,6 +73,7 @@ def run_methods(
                 seed=seed,
                 count_only=True,
                 matrix_cache=matrix_cache,
+                recorder=recorder,
             )
         except InfeasibleBufferError:
             runs[method] = MethodRun(method, buffer_pages, None, None)
@@ -87,6 +92,7 @@ def sweep_buffer_sizes(
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
     matrix_cache: "str | None" = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[str, List[MethodRun]]:
     """One :func:`run_methods` per buffer size, grouped per method.
 
@@ -97,7 +103,7 @@ def sweep_buffer_sizes(
     for buffer_pages in buffer_sizes:
         runs = run_methods(
             r, s, epsilon, methods, buffer_pages, cost_model=cost_model, seed=seed,
-            matrix_cache=matrix_cache,
+            matrix_cache=matrix_cache, recorder=recorder,
         )
         for method in methods:
             per_method[method].append(runs[method])

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_stage_breakdown"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_stage_breakdown",
+    "format_trace_summary",
+]
 
 _STAGES = ("matrix", "clustering", "scheduling", "execution")
 
@@ -70,6 +75,33 @@ def format_stage_breakdown(runs, title: str = "wall-clock per stage") -> str:
     return format_table(
         ["method"] + [f"{s}(s)" for s in _STAGES], rows, title=title
     )
+
+
+def format_trace_summary(recorder, title: str = "trace", max_depth: int = 6) -> str:
+    """Span tree plus headline counters of an in-memory recorder's trace.
+
+    ``recorder`` is a :class:`repro.obs.InMemoryRecorder` (or subclass);
+    sibling spans with the same name are aggregated, counters print in
+    sorted order.  Histograms are summarised as count/min/max.
+    """
+    from repro.obs.export import format_span_tree
+
+    lines: List[str] = [title, format_span_tree(recorder, max_depth=max_depth)]
+    snapshot = recorder.metrics_snapshot()
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name}: n={h['count']} min={h['min']:g} max={h['max']:g}"
+            )
+    return "\n".join(lines)
 
 
 def _render(value: object) -> str:

@@ -20,6 +20,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
 __all__ = ["batch_envelopes", "lb_keogh_block", "dtw_batch"]
 
 # DP state is (pairs, w+1) float64 per buffer; 4096 pairs at w = 512 is
@@ -72,6 +74,7 @@ def dtw_batch(
     b: np.ndarray,
     band: int,
     max_dist: float | None = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Banded DTW of ``K`` aligned window pairs: ``a[k]`` vs ``b[k]``.
 
@@ -95,18 +98,27 @@ def dtw_batch(
     if a_arr.shape[1] == 0:
         raise ValueError("dtw_batch expects non-empty windows")
     out = np.empty(a_arr.shape[0])
+    abandoned = 0
     for start in range(0, a_arr.shape[0], _CHUNK_PAIRS):
         stop = start + _CHUNK_PAIRS
-        out[start:stop] = _dtw_chunk(a_arr[start:stop], b_arr[start:stop], band, max_dist)
+        out[start:stop], retired = _dtw_chunk(
+            a_arr[start:stop], b_arr[start:stop], band, max_dist
+        )
+        abandoned += retired
+    if recorder.enabled:
+        recorder.count("kernel.dtw.pairs", int(a_arr.shape[0]))
+        recorder.count("kernel.dtw.abandoned", abandoned)
     return out
 
 
 def _dtw_chunk(
     a: np.ndarray, b: np.ndarray, band: int, max_dist: float | None
-) -> np.ndarray:
+) -> Tuple[np.ndarray, int]:
+    """One chunk's distances plus how many pairs were retired early."""
     k, w = a.shape
     limit_sq = None if max_dist is None else float(max_dist) ** 2
     out = np.empty(k)
+    abandoned = 0
     alive = np.arange(k)
     prev = np.full((k, w + 1), np.inf)
     prev[:, 0] = 0.0
@@ -125,11 +137,13 @@ def _dtw_chunk(
         if limit_sq is not None:
             dead = row_min > limit_sq
             if dead.any():
-                out[alive[dead]] = float(max_dist) + 1.0
+                dead_ids = alive[dead]
+                out[dead_ids] = float(max_dist) + 1.0
+                abandoned += int(dead_ids.size)
                 keep = ~dead
                 alive = alive[keep]
                 if alive.shape[0] == 0:
-                    return out
+                    return out, abandoned
                 cur = cur[keep]
                 a = a[keep]
                 b = b[keep]
@@ -138,4 +152,4 @@ def _dtw_chunk(
     if max_dist is not None:
         result = np.where(result > max_dist, float(max_dist) + 1.0, result)
     out[alive] = result
-    return out
+    return out, abandoned

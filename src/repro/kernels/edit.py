@@ -12,9 +12,11 @@ identity with the scalar DP unconditional.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["edit_batch", "encode_strings"]
 
@@ -36,7 +38,12 @@ def encode_strings(strings: Sequence[str]) -> np.ndarray:
     return np.frombuffer(flat, dtype=np.uint8).reshape(len(strings), w)
 
 
-def edit_batch(a: np.ndarray, b: np.ndarray, max_dist: int) -> np.ndarray:
+def edit_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    max_dist: int,
+    recorder: Recorder = NULL_RECORDER,
+) -> np.ndarray:
     """Banded edit distance of ``K`` aligned equal-length string pairs.
 
     ``a`` and ``b`` are ``(K, w)`` uint8 code matrices (see
@@ -56,21 +63,30 @@ def edit_batch(a: np.ndarray, b: np.ndarray, max_dist: int) -> np.ndarray:
     if a_arr.shape[0] == 0:
         return np.empty(0)
     out = np.empty(a_arr.shape[0])
+    abandoned = 0
     for start in range(0, a_arr.shape[0], _CHUNK_PAIRS):
         stop = start + _CHUNK_PAIRS
-        out[start:stop] = _edit_chunk(a_arr[start:stop], b_arr[start:stop], max_dist)
+        out[start:stop], retired = _edit_chunk(
+            a_arr[start:stop], b_arr[start:stop], max_dist
+        )
+        abandoned += retired
+    if recorder.enabled:
+        recorder.count("kernel.edit.pairs", int(a_arr.shape[0]))
+        recorder.count("kernel.edit.abandoned", abandoned)
     return out
 
 
-def _edit_chunk(a: np.ndarray, b: np.ndarray, max_dist: int) -> np.ndarray:
+def _edit_chunk(a: np.ndarray, b: np.ndarray, max_dist: int) -> Tuple[np.ndarray, int]:
+    """One chunk's distances plus how many pairs were retired early."""
     k, w = a.shape
     band = int(max_dist)
     big = np.int32(2 * w + 1)  # effectively +inf for this DP
     sentinel = float(max_dist) + 1.0
     out = np.empty(k)
+    abandoned = 0
     if w == 0:
         out[:] = 0.0
-        return out
+        return out, abandoned
     alive = np.arange(k)
     prev = np.full((k, w + 1), big, dtype=np.int32)
     prev[:, : min(w, band) + 1] = np.arange(min(w, band) + 1, dtype=np.int32)
@@ -93,11 +109,13 @@ def _edit_chunk(a: np.ndarray, b: np.ndarray, max_dist: int) -> np.ndarray:
             np.minimum(row_min, best, out=row_min)
         dead = row_min > max_dist
         if dead.any():
-            out[alive[dead]] = sentinel
+            dead_ids = alive[dead]
+            out[dead_ids] = sentinel
+            abandoned += int(dead_ids.size)
             keep = ~dead
             alive = alive[keep]
             if alive.shape[0] == 0:
-                return out
+                return out, abandoned
             cur = cur[keep]
             a = a[keep]
             b = b[keep]
@@ -105,4 +123,4 @@ def _edit_chunk(a: np.ndarray, b: np.ndarray, max_dist: int) -> np.ndarray:
     result = prev[:, w].astype(np.float64)
     result[result > max_dist] = sentinel
     out[alive] = result
-    return out
+    return out, abandoned

@@ -18,6 +18,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
 __all__ = ["minkowski_pairs", "minkowski_pairwise"]
 
 _DEFAULT_CHUNK_ROWS = 1024
@@ -36,6 +38,7 @@ def minkowski_pairs(
     epsilon: float,
     p: float,
     chunk_rows: int = _DEFAULT_CHUNK_ROWS,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[Tuple[int, int]]:
     """All ``(i, j)`` with ``||left[i] - right[j]||_p <= epsilon``.
 
@@ -47,17 +50,31 @@ def minkowski_pairs(
     right_arr = np.atleast_2d(np.asarray(right, dtype=np.float64))
     pairs: List[Tuple[int, int]] = []
     if p == 2.0:
+        candidates = 0
         right_sq = np.einsum("jd,jd->j", right_arr, right_arr)
         for start in range(0, left_arr.shape[0], chunk_rows):
             chunk = left_arr[start : start + chunk_rows]
-            rows, cols = _euclidean_chunk_pairs(chunk, right_arr, right_sq, epsilon)
+            rows, cols, cand = _euclidean_chunk_pairs(chunk, right_arr, right_sq, epsilon)
+            candidates += cand
             pairs.extend(zip((rows + start).tolist(), cols.tolist()))
+        if recorder.enabled:
+            recorder.count(
+                "kernel.minkowski.pairs_tested",
+                left_arr.shape[0] * right_arr.shape[0],
+            )
+            recorder.count("kernel.minkowski.gram_candidates", candidates)
+            recorder.count("kernel.minkowski.accepted", len(pairs))
         return pairs
     for start in range(0, left_arr.shape[0], chunk_rows):
         chunk = left_arr[start : start + chunk_rows]
         dists = _exact_chunk(chunk, right_arr, p)
         rows, cols = np.nonzero(dists <= epsilon)
         pairs.extend(zip((rows + start).tolist(), cols.tolist()))
+    if recorder.enabled and p != 2.0:
+        recorder.count(
+            "kernel.minkowski.pairs_tested", left_arr.shape[0] * right_arr.shape[0]
+        )
+        recorder.count("kernel.minkowski.accepted", len(pairs))
     return pairs
 
 
@@ -66,20 +83,24 @@ def _euclidean_chunk_pairs(
     right: np.ndarray,
     right_sq: np.ndarray,
     epsilon: float,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Gram filter + exact refine for one left chunk; returns (rows, cols)."""
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Gram filter + exact refine for one left chunk.
+
+    Returns ``(rows, cols, candidates)`` where ``candidates`` is how
+    many pairs survived the Gram prefilter into the exact refine.
+    """
     chunk_sq = np.einsum("id,id->i", chunk, chunk)
     gram_sq = chunk_sq[:, None] + right_sq[None, :] - 2.0 * (chunk @ right.T)
     margin = _GRAM_SLACK * (chunk_sq[:, None] + right_sq[None, :])
     cand_rows, cand_cols = np.nonzero(gram_sq <= epsilon * epsilon + margin)
     if cand_rows.size == 0:
-        return cand_rows, cand_cols
+        return cand_rows, cand_cols, 0
     keep = np.empty(cand_rows.size, dtype=bool)
     for lo in range(0, cand_rows.size, _CHUNK_PAIRS):
         hi = lo + _CHUNK_PAIRS
         diff = chunk[cand_rows[lo:hi]] - right[cand_cols[lo:hi]]
         keep[lo:hi] = np.sqrt(np.sum(diff * diff, axis=1)) <= epsilon
-    return cand_rows[keep], cand_cols[keep]
+    return cand_rows[keep], cand_cols[keep], int(cand_rows.size)
 
 
 def _exact_chunk(left: np.ndarray, right: np.ndarray, p: float) -> np.ndarray:

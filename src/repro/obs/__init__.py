@@ -1,0 +1,40 @@
+"""Unified telemetry: span tracing, metrics registry, exportable traces.
+
+See ``docs/observability.md`` for the recorder protocol, the metric
+catalog and the Lemma-auditor semantics.
+"""
+
+from repro.obs.audit import LemmaAuditor, lemma_bound
+from repro.obs.export import (
+    format_span_tree,
+    read_trace_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    Histogram,
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    Recorder,
+    Span,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "Histogram",
+    "LemmaAuditor",
+    "lemma_bound",
+    "format_span_tree",
+    "read_trace_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

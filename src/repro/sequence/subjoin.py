@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.join import IndexedDataset, join
 from repro.costmodel import CostModel
 from repro.distance.frequency import DNA_ALPHABET
+from repro.obs.recorder import Recorder
 from repro.storage.stats import CostReport
 
 __all__ = ["subsequence_join", "SubsequenceJoinResult"]
@@ -52,6 +53,7 @@ def subsequence_join(
     dtw_band: Optional[int] = None,
     seed: int = 0,
     workers: int = 1,
+    recorder: Optional[Recorder] = None,
 ) -> SubsequenceJoinResult:
     """Find all window pairs of length ``window_length`` within ``epsilon``.
 
@@ -61,7 +63,9 @@ def subsequence_join(
     L_p norm to banded dynamic time warping.  ``workers`` parallelises
     cluster execution for the clustering methods (see
     :func:`repro.core.join.join`); results and simulated I/O are
-    identical to the serial run.
+    identical to the serial run.  ``recorder`` forwards a
+    :class:`repro.obs.Recorder` to the underlying page join for span
+    traces and metrics.
 
     Examples
     --------
@@ -87,6 +91,7 @@ def subsequence_join(
         cost_model=cost_model,
         seed=seed,
         workers=workers,
+        recorder=recorder,
     )
     return SubsequenceJoinResult(
         offsets=result.pairs,

@@ -16,6 +16,7 @@ from typing import Dict, Hashable, Iterable, List, Tuple
 
 import numpy as np
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import PagedDataset
 from repro.storage.scheduler import plan_batch_read
@@ -45,7 +46,11 @@ class BufferPool:
     """
 
     def __init__(
-        self, disk: SimulatedDisk, capacity: int, policy: str = "lru"
+        self,
+        disk: SimulatedDisk,
+        capacity: int,
+        policy: str = "lru",
+        recorder: Recorder | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"buffer capacity must be positive, got {capacity}")
@@ -57,6 +62,7 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.policy = policy
+        self.recorder = recorder if recorder is not None else disk.recorder
         self._datasets: Dict[Hashable, PagedDataset] = {}
         self._frames: "OrderedDict[PageKey, np.ndarray]" = OrderedDict()
         self._reserved = 0
@@ -108,7 +114,11 @@ class BufferPool:
             if self.policy != "fifo":
                 self._frames.move_to_end(key)
             self.disk.stats.buffer_hits += 1
+            if self.recorder.enabled:
+                self.recorder.count("buffer.hits")
             return self._frames[key]
+        if self.recorder.enabled:
+            self.recorder.count("buffer.misses")
         dataset = self._dataset(dataset_id)
         self.disk.read(dataset_id, page_no)
         payload = dataset.page_objects(page_no)
@@ -131,13 +141,20 @@ class BufferPool:
                 f"{self.available} frames"
             )
         missing = []
+        hits = 0
         for key in wanted:
             if key in self._frames:
                 if self.policy != "fifo":
                     self._frames.move_to_end(key)
                 self.disk.stats.buffer_hits += 1
+                hits += 1
             else:
                 missing.append(key)
+        if self.recorder.enabled:
+            if hits:
+                self.recorder.count("buffer.hits", hits)
+            if missing:
+                self.recorder.count("buffer.misses", len(missing))
         for key in plan_batch_read(self.disk, missing):
             dataset_id, page_no = key
             dataset = self._dataset(dataset_id)
@@ -175,5 +192,11 @@ class BufferPool:
         """
         target = max(frames, 0)
         evict_last = self.policy == "mru"
+        if self.recorder.enabled:
+            while len(self._frames) > target:
+                (dataset_id, page_no), _ = self._frames.popitem(last=evict_last)
+                self.recorder.count("buffer.evictions")
+                self.recorder.event("buffer.evict", dataset=dataset_id, page=page_no)
+            return
         while len(self._frames) > target:
             self._frames.popitem(last=evict_last)

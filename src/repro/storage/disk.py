@@ -14,14 +14,21 @@ sequence data (they cannot avoid random seeks there).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Tuple
 
 from repro.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.stats import IOStats
 
-__all__ = ["SimulatedDisk"]
+__all__ = ["SimulatedDisk", "ReadSubscriber"]
 
 PageKey = Tuple[Hashable, int]
+
+# Called after every accounted page read with
+# (dataset_id, page_no, block, sequential).  ``sequential`` is the
+# disk's own head-movement verdict — the single source of truth for the
+# seek definition (the first read of a disk is never sequential).
+ReadSubscriber = Callable[[Hashable, int, int, bool], None]
 
 
 class SimulatedDisk:
@@ -31,14 +38,41 @@ class SimulatedDisk:
     Reads are addressed by ``(dataset_id, page_no)``; the disk resolves the
     physical block, charges transfer (plus a seek when the block is not the
     successor of the previously read block) and advances the head.
+
+    Observability: every read is offered to registered
+    :meth:`subscribe` callbacks (this is how
+    :class:`~repro.storage.trace.AccessTrace` listens, replacing the old
+    ``disk.read`` monkeypatch), and counted on the attached ``recorder``
+    (``disk.reads`` / ``disk.seeks``) when one is recording.
     """
 
-    def __init__(self, cost_model: CostModel | None = None) -> None:
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        recorder: Recorder | None = None,
+    ) -> None:
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.stats = IOStats()
         self._extents: Dict[Hashable, Tuple[int, int]] = {}
         self._next_block = 0
         self._head = -2  # sentinel: first read always seeks
+        self._subscribers: List[ReadSubscriber] = []
+
+    # -- observability --------------------------------------------------------
+
+    def subscribe(self, callback: ReadSubscriber) -> ReadSubscriber:
+        """Register a callback invoked after every accounted page read.
+
+        Bulk :meth:`charge_stream` accounting is *not* forwarded (it has
+        no per-page identity by design).  Returns the callback so the
+        method can be used as a decorator.
+        """
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: ReadSubscriber) -> None:
+        self._subscribers.remove(callback)
 
     # -- layout -------------------------------------------------------------
 
@@ -91,6 +125,12 @@ class SimulatedDisk:
             transfers=1, seeks=0 if sequential else 1
         )
         self._head = block
+        if self.recorder.enabled:
+            self.recorder.count("disk.reads")
+            if not sequential:
+                self.recorder.count("disk.seeks")
+        for callback in self._subscribers:
+            callback(dataset_id, page_no, block, sequential)
 
     def read_batch(self, pages: Iterable[PageKey]) -> None:
         """Read pages in the given order (no reordering — callers schedule)."""
@@ -111,6 +151,9 @@ class SimulatedDisk:
         self.stats.seeks += seeks
         self.stats.io_seconds += self.cost_model.io_cost(transfers, seeks)
         self._head = -2
+        if self.recorder.enabled:
+            self.recorder.count("disk.stream_transfers", transfers)
+            self.recorder.count("disk.stream_seeks", seeks)
 
     # -- analytics ------------------------------------------------------------
 

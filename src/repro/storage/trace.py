@@ -1,17 +1,38 @@
 """Disk access tracing and locality analysis.
 
-Attach a :class:`AccessTrace` to a :class:`SimulatedDisk` to record every
-physical read; then summarise run lengths, per-dataset volumes and seek
-ratios.  Useful for debugging join schedules ("why does this method
-seek?") and for validating that SC's cluster reads really are batched
-runs while EGO's sequence reads really are scattered.
+Attach a :class:`AccessTrace` to a :class:`SimulatedDisk` with
+``AccessTrace.attach(disk)`` (a native :meth:`SimulatedDisk.subscribe`
+subscription) to record every physical read; then summarise run lengths,
+per-dataset volumes and seek ratios.  Useful for debugging join
+schedules ("why does this method seek?") and for validating that SC's
+cluster reads really are batched runs while EGO's sequence reads really
+are scattered.
+
+Seek definition
+---------------
+The disk's head-movement definition is the single source of truth: a
+read is sequential iff its block is the successor of the previously read
+block, and the first read of a disk is never sequential (the head starts
+off-extent).  An attached trace consumes the disk's own per-read
+verdict, so ``summary().total_seeks`` always equals the disk's
+``stats.seeks`` delta over the traced window — including across
+``charge_stream`` calls, which invalidate the head without producing a
+traced event.  (Historically the trace recomputed adjacency from its own
+events and always charged the first *traced* read as a seek, which could
+disagree with the disk; that discrepancy is fixed and pinned by
+``tests/storage/test_trace.py``.)
+
+When :meth:`AccessTrace.record` is called manually without a
+``sequential`` flag, the trace falls back to the same definition applied
+to its own event stream: block adjacency, first event a seek.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.storage.disk import SimulatedDisk
 
@@ -45,32 +66,65 @@ class TraceSummary:
 
 
 class AccessTrace:
-    """Records (dataset_id, page_no, block) for every read of a disk."""
+    """Records (dataset_id, page_no, block) for every read of a disk.
+
+    ``events`` keeps the historical 3-tuple shape; the per-read
+    sequential verdicts live in the parallel ``sequential_flags`` list.
+    """
 
     def __init__(self) -> None:
         self.events: List[Tuple[Hashable, int, int]] = []
+        self.sequential_flags: List[bool] = []
 
-    def record(self, dataset_id: Hashable, page_no: int, block: int) -> None:
+    @classmethod
+    def attach(cls, disk: SimulatedDisk) -> "AccessTrace":
+        """A fresh trace subscribed to ``disk``'s native read events."""
+        trace = cls()
+        disk.subscribe(trace.record)
+        return trace
+
+    def record(
+        self,
+        dataset_id: Hashable,
+        page_no: int,
+        block: int,
+        sequential: Optional[bool] = None,
+    ) -> None:
+        """Append one read; matches the :meth:`SimulatedDisk.subscribe` signature.
+
+        Without an explicit ``sequential`` flag (manual use), the disk's
+        definition is applied to the trace's own stream: sequential iff
+        the block succeeds the previous *traced* block, first event a
+        seek.
+        """
+        if sequential is None:
+            sequential = bool(self.events) and block == self.events[-1][2] + 1
         self.events.append((dataset_id, page_no, block))
+        self.sequential_flags.append(bool(sequential))
 
     def __len__(self) -> int:
         return len(self.events)
 
     def summary(self) -> TraceSummary:
-        """Run-length and volume statistics of the recorded accesses."""
+        """Run-length and volume statistics of the recorded accesses.
+
+        A "run" is a maximal chain of reads the disk served without
+        seeking, so ``run_count == total_seeks`` and both equal the
+        disk's ``stats.seeks`` delta when the trace is attached.
+        """
         if not self.events:
             return TraceSummary(0, 0, 0, 0.0, 0, {})
         runs: List[int] = []
-        current = 1
-        seeks = 1
-        for (_d1, _p1, prev), (_d2, _p2, cur) in zip(self.events, self.events[1:]):
-            if cur == prev + 1:
+        current = 0
+        for sequential in self.sequential_flags:
+            if sequential:
                 current += 1
             else:
-                runs.append(current)
+                if current:
+                    runs.append(current)
                 current = 1
-                seeks += 1
         runs.append(current)
+        seeks = sum(1 for sequential in self.sequential_flags if not sequential)
         per_dataset = Counter(dataset_id for dataset_id, _p, _b in self.events)
         return TraceSummary(
             total_reads=len(self.events),
@@ -83,19 +137,18 @@ class AccessTrace:
 
 
 def attach_trace(disk: SimulatedDisk) -> AccessTrace:
-    """Wrap ``disk.read`` so every physical read lands in a fresh trace.
+    """Deprecated: use ``AccessTrace.attach(disk)``.
 
-    Returns the trace; recording lasts for the disk's lifetime.  Bulk
-    ``charge_stream`` accounting is *not* traced (it has no per-page
-    identity by design).
+    Historically this monkeypatched ``disk.read``; it is now a thin shim
+    over the disk's native :meth:`~SimulatedDisk.subscribe` event stream
+    and will be removed in a future release.  Bulk ``charge_stream``
+    accounting is still not traced (it has no per-page identity).
     """
-    trace = AccessTrace()
-    original_read = disk.read
-
-    def traced_read(dataset_id: Hashable, page_no: int) -> None:
-        block = disk.block_of(dataset_id, page_no)
-        original_read(dataset_id, page_no)
-        trace.record(dataset_id, page_no, block)
-
-    disk.read = traced_read  # type: ignore[method-assign]
-    return trace
+    warnings.warn(
+        "attach_trace(disk) is deprecated; use AccessTrace.attach(disk), which "
+        "subscribes to the disk's native read events instead of monkeypatching "
+        "disk.read",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return AccessTrace.attach(disk)

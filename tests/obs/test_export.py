@@ -1,0 +1,144 @@
+"""Exporter tests: JSONL round trip, Chrome trace-event schema, span tree."""
+
+import json
+
+from repro.obs import (
+    InMemoryRecorder,
+    JsonlRecorder,
+    format_span_tree,
+    read_trace_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+# Keys every Chrome complete event must carry (trace-event format spec).
+_COMPLETE_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+_INSTANT_KEYS = {"name", "cat", "ph", "s", "ts", "pid", "tid"}
+
+
+def _sample_recorder() -> InMemoryRecorder:
+    rec = InMemoryRecorder()
+    with rec.span("join.matrix", epsilon=0.05):
+        with rec.span("matrix.sweep"):
+            pass
+    with rec.span("join.execution"):
+        with rec.span("execute.cluster"):
+            pass
+    rec.count("disk.reads", 11)
+    rec.observe("sweep.block_size", 17)
+    rec.event("buffer.evict", dataset="a", page=2)
+    return rec
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        rec = _sample_recorder()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(rec, path)
+        data = read_trace_jsonl(path)
+        assert data["meta"]["version"] == 1
+        assert data["meta"]["origin_unix"] == rec.origin_unix
+        assert [s["name"] for s in data["spans"]] == [
+            "matrix.sweep", "join.matrix", "execute.cluster", "join.execution",
+        ]
+        assert data["metrics"]["counters"]["disk.reads"] == 11
+        assert data["metrics"]["histograms"]["sweep.block_size"]["count"] == 1
+        (event,) = data["events"]
+        assert event["fields"] == {"dataset": "a", "page": 2}
+
+    def test_span_schema(self, tmp_path):
+        rec = _sample_recorder()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(rec, path)
+        for span in read_trace_jsonl(path)["spans"]:
+            assert set(span) == {
+                "type", "id", "parent", "name", "thread", "start", "end", "dur", "attrs",
+            }
+            assert span["end"] >= span["start"] >= 0.0
+            assert abs(span["dur"] - (span["end"] - span["start"])) < 1e-9
+
+    def test_parent_links_resolve(self, tmp_path):
+        rec = _sample_recorder()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(rec, path)
+        spans = read_trace_jsonl(path)["spans"]
+        ids = {s["id"] for s in spans}
+        for span in spans:
+            assert span["parent"] is None or span["parent"] in ids
+
+    def test_streamed_equals_batch_export(self, tmp_path):
+        """JsonlRecorder's streamed file parses to the same structure."""
+        streamed = tmp_path / "streamed.jsonl"
+        rec = JsonlRecorder(streamed)
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        rec.count("c", 3)
+        rec.event("e", k="v")
+        rec.close()
+        batch = tmp_path / "batch.jsonl"
+        write_jsonl(rec, batch)
+        assert read_trace_jsonl(streamed) == read_trace_jsonl(batch)
+
+
+class TestChromeTrace:
+    def test_event_schema(self):
+        trace = to_chrome_trace(_sample_recorder())
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "X":
+                assert _COMPLETE_KEYS <= set(ev)
+                assert ev["dur"] >= 0.0
+            else:
+                assert ev["ph"] == "i"
+                assert _INSTANT_KEYS <= set(ev)
+                assert ev["s"] in ("t", "p", "g")
+            assert ev["ts"] >= 0.0
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+
+    def test_events_sorted_by_timestamp(self):
+        trace = to_chrome_trace(_sample_recorder())
+        timestamps = [ev["ts"] for ev in trace["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_metrics_in_other_data(self):
+        trace = to_chrome_trace(_sample_recorder())
+        assert trace["otherData"]["counters"]["disk.reads"] == 11
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(_sample_recorder(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+
+    def test_non_jsonable_args_coerced(self):
+        rec = InMemoryRecorder()
+        with rec.span("s", obj=object()):
+            pass
+        (ev,) = to_chrome_trace(rec)["traceEvents"]
+        assert isinstance(ev["args"]["obj"], str)
+
+
+class TestSpanTree:
+    def test_empty(self):
+        assert format_span_tree(InMemoryRecorder()) == "(no spans recorded)"
+
+    def test_structure_and_aggregation(self):
+        rec = InMemoryRecorder()
+        with rec.span("root"):
+            for _ in range(3):
+                with rec.span("leaf"):
+                    pass
+        text = format_span_tree(rec)
+        assert "root" in text
+        assert "leaf ×3" in text
+
+    def test_max_depth_truncates(self):
+        rec = InMemoryRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                with rec.span("c"):
+                    pass
+        text = format_span_tree(rec, max_depth=2)
+        assert "b" in text and "c" not in text

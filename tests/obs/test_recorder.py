@@ -1,0 +1,173 @@
+"""Unit tests for the recorder protocol: spans, counters, histograms, events."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    Histogram,
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    Recorder,
+)
+
+
+class TestNullRecorder:
+    def test_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_span_still_times(self):
+        with NULL_RECORDER.span("work") as span:
+            pass
+        assert span.duration >= 0.0
+        assert span.end is not None
+
+    def test_metrics_are_noops(self):
+        NULL_RECORDER.count("x", 5)
+        NULL_RECORDER.observe("y", 3.0)
+        NULL_RECORDER.event("z", detail=1)
+        assert NULL_RECORDER.counter("x") == 0
+
+    def test_base_recorder_protocol(self):
+        rec = Recorder()
+        assert rec.enabled is False
+        rec.close()  # no-op, must not raise
+
+
+class TestSpans:
+    def test_nesting_assigns_parents(self):
+        rec = InMemoryRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        spans = {sp.name: sp for sp in rec.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+
+    def test_siblings_share_parent(self):
+        rec = InMemoryRecorder()
+        with rec.span("root"):
+            with rec.span("a"):
+                pass
+            with rec.span("b"):
+                pass
+        spans = {sp.name: sp for sp in rec.spans}
+        assert spans["a"].parent_id == spans["root"].span_id
+        assert spans["b"].parent_id == spans["root"].span_id
+
+    def test_span_ids_unique(self):
+        rec = InMemoryRecorder()
+        for _ in range(10):
+            with rec.span("s"):
+                pass
+        ids = [sp.span_id for sp in rec.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_duration_zero_until_complete(self):
+        rec = InMemoryRecorder()
+        span = rec.span("pending")
+        assert span.duration == 0.0
+
+    def test_attrs_retained(self):
+        rec = InMemoryRecorder()
+        with rec.span("s", method="sc", pages=7):
+            pass
+        assert rec.spans[0].attrs == {"method": "sc", "pages": 7}
+
+    def test_worker_thread_spans_are_parentless(self):
+        rec = InMemoryRecorder()
+
+        def work():
+            with rec.span("worker"):
+                pass
+
+        with rec.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        spans = {sp.name: sp for sp in rec.spans}
+        assert spans["worker"].parent_id is None
+        assert spans["worker"].thread_id != spans["main"].thread_id
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        rec = InMemoryRecorder()
+        rec.count("hits")
+        rec.count("hits", 4)
+        assert rec.counter("hits") == 5
+        assert rec.counter("unknown") == 0
+
+    def test_concurrent_counts_are_exact(self):
+        rec = InMemoryRecorder()
+
+        def work():
+            for _ in range(1000):
+                rec.count("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counter("n") == 8000
+
+
+class TestHistogram:
+    def test_bucket_boundaries(self):
+        # Bucket k holds 2**(k-1) < v <= 2**k; bucket 0 holds v <= 1.
+        assert Histogram.bucket_of(0) == 0
+        assert Histogram.bucket_of(1) == 0
+        assert Histogram.bucket_of(2) == 1
+        assert Histogram.bucket_of(3) == 2
+        assert Histogram.bucket_of(4) == 2
+        assert Histogram.bucket_of(5) == 3
+        assert Histogram.bucket_of(1024) == 10
+        assert Histogram.bucket_of(1025) == 11
+
+    def test_stats(self):
+        h = Histogram()
+        for v in (3, 1, 10):
+            h.add(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["total"] == 14.0
+        assert d["min"] == 1
+        assert d["max"] == 10
+        assert d["buckets"] == {"0": 1, "2": 1, "4": 1}
+
+    def test_observe_creates_histograms(self):
+        rec = InMemoryRecorder()
+        rec.observe("sizes", 5)
+        rec.observe("sizes", 7)
+        snap = rec.metrics_snapshot()
+        assert snap["histograms"]["sizes"]["count"] == 2
+
+
+class TestEvents:
+    def test_event_records_fields_and_time(self):
+        rec = InMemoryRecorder()
+        rec.event("evict", dataset="a", page=3)
+        (record,) = rec.events
+        assert record["name"] == "evict"
+        assert record["fields"] == {"dataset": "a", "page": 3}
+        assert record["ts"] >= 0.0
+
+
+class TestJsonlRecorder:
+    def test_close_is_idempotent(self, tmp_path):
+        rec = JsonlRecorder(tmp_path / "t.jsonl")
+        with rec.span("s"):
+            pass
+        rec.close()
+        rec.close()
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            rec.count("c")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2  # meta + metrics

@@ -99,3 +99,39 @@ class TestJoin:
             "--page-capacity", "16",
         ])
         assert "nlj" in capsys.readouterr().out
+
+
+class TestTraceOut:
+    def test_jsonl_trace(self, tmp_path, capsys):
+        from repro.obs import read_trace_jsonl
+
+        left = tmp_path / "l.npy"
+        np.save(left, np.random.default_rng(5).random((200, 2)))
+        trace_out = tmp_path / "trace.jsonl"
+        assert main([
+            "join", "points", str(left),
+            "--epsilon", "0.05", "--buffer", "8", "--page-capacity", "16",
+            "--trace-out", str(trace_out),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "trace summary" in output
+        assert f"trace (jsonl) written to {trace_out}" in output
+        data = read_trace_jsonl(trace_out)
+        names = {s["name"] for s in data["spans"]}
+        assert {"join.matrix", "join.execution"} <= names
+        assert data["metrics"]["counters"]["disk.reads"] > 0
+
+    def test_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        left = tmp_path / "l.npy"
+        np.save(left, np.random.default_rng(6).random((200, 2)))
+        trace_out = tmp_path / "trace.json"
+        assert main([
+            "join", "points", str(left),
+            "--epsilon", "0.05", "--buffer", "8", "--page-capacity", "16",
+            "--trace-out", str(trace_out), "--trace-format", "chrome",
+        ]) == 0
+        trace = json.loads(trace_out.read_text())
+        assert trace["traceEvents"]
+        assert all(ev["ph"] in ("X", "i") for ev in trace["traceEvents"])
