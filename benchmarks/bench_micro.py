@@ -25,7 +25,16 @@ from repro.datasets.landsat import landsat_like
 from repro.distance.dtw import dtw_distance
 from repro.distance.edit import edit_distance
 from repro.distance.frequency import frequency_vectors_sliding
-from repro.experiments.figures import SPATIAL_EPSILON, lbeach_mcounty
+from repro.experiments.figures import (
+    GENOME_BUFFER,
+    GENOME_EPSILON,
+    PAPER_PAGES,
+    SPATIAL_BUFFER,
+    SPATIAL_EPSILON,
+    buffers_from_fractions,
+    hchr18,
+    lbeach_mcounty,
+)
 from repro.index.rstar import RStarTree, build_spatial_page_index
 from repro.kernels import dtw_batch, edit_batch, encode_strings, minkowski_pairs
 from repro.obs import NULL_RECORDER
@@ -174,7 +183,10 @@ def test_refinement_kernel_speedup(record_json):
 def test_minkowski_gram_filter_speedup(record_json):
     """Gram prefilter + gathered refine vs the difference-tensor reference."""
     rng = np.random.default_rng(2)
-    n = 1_000 if QUICK else 4_000
+    # Quick mode keeps the full workload (shrinking n changes the
+    # matmul-vs-broadcast balance and makes the recorded speedup
+    # incomparable with the committed full-run baseline).
+    n = 4_000
     d, eps = 16, 1.0  # ~0.6% selectivity: the refine stage does real work
     left = rng.random((n, d))
     right = rng.random((n, d))
@@ -189,8 +201,11 @@ def test_minkowski_gram_filter_speedup(record_json):
             found.extend(zip((rows + start).tolist(), cols.tolist()))
         return found
 
-    ref_s, ref_pairs = _best_of(reference)
-    kern_s, kern_pairs = _best_of(lambda: minkowski_pairs(left, right, eps, 2.0))
+    repeats = 3 if QUICK else 5
+    ref_s, ref_pairs = _best_of(reference, repeats=repeats)
+    kern_s, kern_pairs = _best_of(
+        lambda: minkowski_pairs(left, right, eps, 2.0), repeats=repeats
+    )
     assert kern_pairs == ref_pairs
     record_json(
         "minkowski_gram_filter",
@@ -309,6 +324,101 @@ def test_parallel_cluster_execution(record_json):
             "result_pairs": serial.num_pairs,
         },
     )
+
+
+# -- end-to-end join: mega-batch vs per-pair execution (ISSUE 5) -------------------
+#
+# Full join() wall clock on Figure-10/11-style configs, cluster-granular
+# mega-batch (the default) against the classic per-page-pair path
+# (batch_pairs=1).  Both paths produce bit-identical pairs and simulated
+# accounting — pinned by tests/core/test_megabatch_equivalence.py — so
+# the only difference the bench can see is wall clock.
+
+
+def _join_e2e_runs(r, s, epsilon, buffer_pages, workers, batch_pairs, repeats):
+    """Best-of-N wall clock and execution-stage seconds, plus one result."""
+    best_total, best_exec, result = float("inf"), float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = join(
+            r, s, epsilon, method="sc", buffer_pages=buffer_pages,
+            workers=workers, batch_pairs=batch_pairs,
+        )
+        best_total = min(best_total, time.perf_counter() - t0)
+        best_exec = min(
+            best_exec, result.report.extra["stage_seconds"]["execution"]
+        )
+    return best_total, best_exec, result
+
+
+def _join_e2e_row(r, s, epsilon, buffer_pages, workers, repeats):
+    per_s, per_exec, per = _join_e2e_runs(
+        r, s, epsilon, buffer_pages, workers, 1, repeats
+    )
+    mega_s, mega_exec, mega = _join_e2e_runs(
+        r, s, epsilon, buffer_pages, workers, None, repeats
+    )
+    assert mega.pairs == per.pairs
+    assert mega.report.page_reads == per.report.page_reads
+    assert mega.report.seeks == per.report.seeks
+    return {
+        "workers": workers,
+        "per_pair_seconds": per_s,
+        "megabatch_seconds": mega_s,
+        "speedup": per_s / mega_s,
+        "per_pair_exec_seconds": per_exec,
+        "megabatch_exec_seconds": mega_exec,
+        "exec_speedup": per_exec / mega_exec,
+        "result_pairs": mega.num_pairs,
+    }
+
+
+def test_join_e2e_speedup(record_json):
+    """Mega-batch vs per-pair full-join wall clock, Figure 10/11 style.
+
+    The spatial row is the Figure 10 shape (LBeach × MCounty stand-ins,
+    B preserving the paper's buffer-to-page ratio) at a reduced scale
+    with ε chosen for a comparable join density; the genome row is the
+    Figure 11 shape (HChr18 self join).  The spatial mega-batch win is
+    the headline gate; the genome join is frequency-filter-bound (equal
+    FLOPs on both paths), so its expected factor is smaller.
+    """
+    repeats = 1 if QUICK else 2
+    r, s = lbeach_mcounty(0.5, seed=0)
+    buffer_pages = buffers_from_fractions(
+        r.num_pages, [25 / PAPER_PAGES["lbeach"]], minimum=SPATIAL_BUFFER
+    )[0]
+    spatial_eps = 2 * SPATIAL_EPSILON
+    spatial = {
+        f"workers_{w}": _join_e2e_row(r, s, spatial_eps, buffer_pages, w, repeats)
+        for w in (1, 2)
+    }
+
+    genome = hchr18(0.005, seed=0)
+    genome_row = _join_e2e_row(
+        genome, genome, GENOME_EPSILON, GENOME_BUFFER, 1, repeats
+    )
+
+    record_json(
+        "join_e2e",
+        {
+            "spatial": {
+                "pages": [int(r.num_pages), int(s.num_pages)],
+                "buffer_pages": int(buffer_pages),
+                "epsilon": spatial_eps,
+                **spatial,
+            },
+            "genome": {
+                "pages": int(genome.num_pages),
+                "buffer_pages": int(GENOME_BUFFER),
+                "epsilon": GENOME_EPSILON,
+                "workers_1": genome_row,
+            },
+        },
+    )
+    assert spatial["workers_1"]["speedup"] >= (2.0 if QUICK else 3.0)
+    assert spatial["workers_2"]["speedup"] >= (1.5 if QUICK else 2.0)
+    assert genome_row["speedup"] >= (1.0 if QUICK else 1.2)
 
 
 # -- observability overhead (ISSUE 4) ----------------------------------------------
@@ -472,9 +582,9 @@ def test_clustering_pipeline_speedup(record_json):
     stats counters, schedule order), so the speedups compare equivalent
     work.  The headline metric is the CC-pipeline composite (cost
     clustering + greedy scheduling, the paper's flagship path) on a dense
-    matrix; SC ratios are recorded too, honestly: per-cluster numpy
-    dispatch overhead keeps vectorised SC near/below parity at small B,
-    and it only wins at large buffers.
+    matrix; SC speedups are gated too: the density/size crossover in
+    ``square_clustering`` dispatches tiny-cluster workloads to a scalar
+    sweep, so small-B SC must no longer regress below parity.
     """
     from repro.core.clusters_reference import (
         cost_clustering_reference,
@@ -550,9 +660,7 @@ def test_clustering_pipeline_speedup(record_json):
             "clusters": len(got),
             "reference_seconds": ref_s,
             "vectorized_seconds": vec_s,
-            # Deliberately not a gated "speedup": small-B SC is dominated
-            # by per-cluster numpy dispatch and sits near/below 1x.
-            "ratio": ref_s / vec_s,
+            "speedup": ref_s / vec_s,
         }
 
     composite = (cc_dense[0] + sched_ref_s) / (cc_dense[1] + sched_vec_s)
@@ -580,3 +688,6 @@ def test_clustering_pipeline_speedup(record_json):
     # floor is asserted there (the regression gate still tracks drift).
     assert composite >= (2.0 if QUICK else 5.0)
     assert cc_rows["1.0"]["speedup"] >= (1.5 if QUICK else 3.0)
+    # The density-0.3/small-B configuration used to regress below 1x
+    # before the scalar crossover; hold the line at parity.
+    assert sc_rows["0.3"]["speedup"] >= (0.8 if QUICK else 1.0)

@@ -29,6 +29,7 @@ CHECKED_SECTIONS = (
     "minkowski_gram_filter",
     "matrix_build",
     "clustering",
+    "join_e2e",
     "observability",
 )
 MAX_SLOWDOWN = 2.0

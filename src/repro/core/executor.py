@@ -7,6 +7,20 @@ For each cluster in schedule order (Section 8):
 2. every marked entry of the cluster is joined entirely in memory (its two
    pages are guaranteed resident because ``r + c <= B``).
 
+Step 2 runs at one of two granularities.  The default is the
+*mega-batch*: once the cluster's ``r + c`` pages are staged (pinned for
+the duration — :meth:`~repro.storage.buffer.BufferPool.pinned`), all of
+its marked page pairs are joined by a single fused cascade over the
+datasets' columnar page views
+(:meth:`~repro.core.joiners.PagePairJoiner.join_cluster` — one filter
+kernel call and one refine kernel call per cluster instead of one per
+page pair).  ``batch_pairs=1`` selects the classic per-pair granularity;
+joiners that are plain callables (no ``join_cluster``) always run per
+pair.  Both granularities produce bit-identical results and accounting —
+pairs (order included), comparisons, modeled CPU, page reads/reuse,
+buffer hits and Lemma audits; only kernel *invocation* counts differ
+(``repro.obs.recorder.BATCHING_VARIANT_COUNTERS``).
+
 With ``workers > 1`` the CPU half of step 2 is dispatched to a thread
 pool: clusters are independent units of work (each owns its buffer-
 resident pages), so their page-pair joins run concurrently while the
@@ -73,12 +87,21 @@ def execute_clusters(
     page_pair_join: PagePairJoin,
     workers: int = 1,
     recorder: Recorder = NULL_RECORDER,
+    batch_pairs: Optional[int] = None,
 ) -> ExecutionOutcome:
     """Process clusters in the given order; returns the measured outcome.
 
-    ``workers > 1`` parallelises the page-pair joins across a thread pool
-    (one task per cluster) without changing any simulated I/O count or
-    the result; see the module docstring for the determinism argument.
+    ``batch_pairs`` sets the join granularity: ``None`` (default) joins
+    every marked pair of a cluster in one mega-batch cascade, ``1``
+    restores the classic per-page-pair path, and ``k > 1`` splits each
+    cluster's entry list into mega-batches of at most ``k`` pairs.  The
+    granularity never changes the result or the simulated accounting
+    (see the module docstring); joiners without cluster support silently
+    run per pair.
+
+    ``workers > 1`` parallelises the joins across a thread pool (one
+    task per cluster) without changing any simulated I/O count or the
+    result; see the module docstring for the determinism argument.
 
     With a recording ``recorder``, each cluster is additionally audited
     against the paper's Lemma 1/2 read bounds: the disk-transfer delta
@@ -92,6 +115,8 @@ def execute_clusters(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_pairs is not None and batch_pairs < 1:
+        raise ValueError(f"batch_pairs must be >= 1 or None, got {batch_pairs}")
     pool.attach(r_dataset)
     pool.attach(s_dataset)
     outcome = ExecutionOutcome()
@@ -101,22 +126,33 @@ def execute_clusters(
         LemmaAuditor(recorder) if recorder.enabled else None
     )
     disk_stats = pool.disk.stats
+    use_megabatch = batch_pairs != 1 and getattr(
+        page_pair_join, "supports_megabatch", False
+    )
     if workers == 1:
         for index, cluster in enumerate(ordered_clusters):
             transfers_before = disk_stats.transfers
             with recorder.span("execute.cluster"):
-                _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
-                for row, col in cluster.entries:
-                    r_payload = pool.fetch(r_id, row)
-                    s_payload = pool.fetch(s_id, col)
-                    outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
+                if use_megabatch:
+                    _stage_cluster_pinned(
+                        cluster, pool, r_id, s_id, outcome
+                    )
+                    for chunk in _entry_chunks(cluster.entries, batch_pairs):
+                        for result in page_pair_join.join_cluster(chunk):
+                            outcome.absorb(result)
+                else:
+                    _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+                    for row, col in cluster.entries:
+                        r_payload = pool.fetch(r_id, row)
+                        s_payload = pool.fetch(s_id, col)
+                        outcome.absorb(page_pair_join(row, col, r_payload, s_payload))
             if auditor is not None:
                 auditor.check_cluster(
                     cluster, disk_stats.transfers - transfers_before, index
                 )
-        recorder.count("executor.clusters", len(ordered_clusters))
-        recorder.count("executor.pages_read", outcome.pages_read)
-        recorder.count("executor.pages_reused", outcome.pages_reused)
+        _count_executor_totals(
+            recorder, outcome, len(ordered_clusters), use_megabatch
+        )
         return outcome
 
     futures: List[Future] = []
@@ -125,33 +161,66 @@ def execute_clusters(
             transfers_before = disk_stats.transfers
             # The span covers staging + fetches only — the joins run on
             # worker threads and appear as their own (parentless,
-            # per-thread) ``execute.refine`` spans.
+            # per-thread) ``execute.refine`` / ``execute.megabatch`` spans.
             with recorder.span("execute.cluster"):
-                _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
-                # Fetch on the main thread, in entry order: the buffer/disk
-                # state transitions replay the serial run exactly.  Payload
-                # references stay valid after eviction — eviction drops the
-                # frame, not the in-memory array the frame pointed at.
-                work: _ClusterWork = [
-                    (row, col, pool.fetch(r_id, row), pool.fetch(s_id, col))
-                    for row, col in cluster.entries
-                ]
+                if use_megabatch:
+                    _stage_cluster_pinned(cluster, pool, r_id, s_id, outcome)
+                    entries = list(cluster.entries)
+                else:
+                    _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+                    # Fetch on the main thread, in entry order: the buffer/disk
+                    # state transitions replay the serial run exactly.  Payload
+                    # references stay valid after eviction — eviction drops the
+                    # frame, not the in-memory array the frame pointed at.
+                    work: _ClusterWork = [
+                        (row, col, pool.fetch(r_id, row), pool.fetch(s_id, col))
+                        for row, col in cluster.entries
+                    ]
             if auditor is not None:
                 # All of a cluster's physical reads happen above (the
-                # worker only touches resident payloads), so the delta is
-                # complete here — same instant as the serial audit.
+                # worker only touches resident payloads / columnar views),
+                # so the delta is complete here — same instant as the
+                # serial audit.
                 auditor.check_cluster(
                     cluster, disk_stats.transfers - transfers_before, index
                 )
-            futures.append(executor.submit(_join_cluster, page_pair_join, work))
+            if use_megabatch:
+                futures.append(
+                    executor.submit(
+                        _join_cluster_megabatch, page_pair_join, entries, batch_pairs
+                    )
+                )
+            else:
+                futures.append(executor.submit(_join_cluster, page_pair_join, work))
         # Merge in schedule order regardless of completion order.
         for future in futures:
             for result in future.result():
                 outcome.absorb(result)
-    recorder.count("executor.clusters", len(ordered_clusters))
+    _count_executor_totals(recorder, outcome, len(ordered_clusters), use_megabatch)
+    return outcome
+
+
+def _count_executor_totals(
+    recorder: Recorder,
+    outcome: ExecutionOutcome,
+    num_clusters: int,
+    use_megabatch: bool,
+) -> None:
+    recorder.count("executor.clusters", num_clusters)
     recorder.count("executor.pages_read", outcome.pages_read)
     recorder.count("executor.pages_reused", outcome.pages_reused)
-    return outcome
+    if use_megabatch:
+        recorder.count("executor.megabatch_clusters", num_clusters)
+
+
+def _entry_chunks(
+    entries: Sequence[Tuple[int, int]], batch_pairs: Optional[int]
+) -> List[List[Tuple[int, int]]]:
+    """Split a cluster's entries into mega-batches of ``batch_pairs``."""
+    items = list(entries)
+    if batch_pairs is None or batch_pairs >= len(items):
+        return [items]
+    return [items[i : i + batch_pairs] for i in range(0, len(items), batch_pairs)]
 
 
 def _stage_cluster_pages(
@@ -168,9 +237,47 @@ def _stage_cluster_pages(
     outcome.pages_reused += len(wanted) - len(missing)
 
 
+def _stage_cluster_pinned(
+    cluster: Cluster,
+    pool: BufferPool,
+    r_id,
+    s_id,
+    outcome: ExecutionOutcome,
+) -> None:
+    """Pin-scoped staging for the mega-batch path.
+
+    Identical read/hit accounting to :func:`_stage_cluster_pages` (the
+    pins are insurance against non-LRU victim choices, see
+    :meth:`~repro.storage.buffer.BufferPool.pinned`), followed by the
+    per-entry fetch replay: the mega-batch joiner reads objects through
+    the columnar page views, so the buffer hits the per-pair path's
+    fetches would have scored are replayed here — keeping hit counts and
+    replacement state bit-identical between granularities.
+    """
+    wanted = sorted(cluster.page_keys(r_id, s_id))
+    with pool.pinned(wanted) as staged:
+        outcome.pages_read += len(staged.missing)
+        outcome.pages_reused += len(wanted) - len(staged.missing)
+        for row, col in cluster.entries:
+            pool.fetch(r_id, row)
+            pool.fetch(s_id, col)
+
+
 def _join_cluster(page_pair_join: PagePairJoin, work: _ClusterWork) -> List:
     """Worker body: join one cluster's entries, preserving entry order."""
     return [
         page_pair_join(row, col, r_payload, s_payload)
         for row, col, r_payload, s_payload in work
     ]
+
+
+def _join_cluster_megabatch(
+    page_pair_join,
+    entries: List[Tuple[int, int]],
+    batch_pairs: Optional[int],
+) -> List:
+    """Worker body: fused cascade(s) over one cluster, entry order kept."""
+    results: List = []
+    for chunk in _entry_chunks(entries, batch_pairs):
+        results.extend(page_pair_join.join_cluster(chunk))
+    return results

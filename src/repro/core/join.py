@@ -285,6 +285,7 @@ def join(
     workers: int = 1,
     matrix_cache: "str | Path | None" = None,
     recorder: Optional[Recorder] = None,
+    batch_pairs: Optional[int] = None,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -330,6 +331,13 @@ def join(
         refinement — appears as a named span, and the reported
         ``extra["stage_seconds"]`` values are exactly the top-level stage
         span durations.
+    batch_pairs:
+        Join granularity of cluster execution (``sc``/``rand-sc``/``cc``
+        only).  ``None`` (the default) joins each cluster's marked page
+        pairs in one mega-batch cascade; ``1`` restores the classic
+        per-page-pair path; ``k > 1`` caps a mega-batch at ``k`` pairs.
+        Results and simulated accounting are identical at every setting
+        (see :func:`repro.core.executor.execute_clusters`).
     """
     if method not in JOIN_METHODS:
         raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
@@ -393,7 +401,7 @@ def join(
         with rec.span("join.execution") as exec_span:
             outcome = execute_clusters(
                 ordered, pool, r.paged, s.paged, joiner, workers=workers,
-                recorder=rec,
+                recorder=rec, batch_pairs=batch_pairs,
             )
         stage_seconds["execution"] = exec_span.duration
         clusters = ordered

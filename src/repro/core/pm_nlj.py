@@ -82,28 +82,32 @@ def _pinned_side_join(
         stream_pages = matrix.marked_cols()
         stream_dataset, stream_id = s_dataset, s_id
 
-    missing = pool.load_batch(pinned_keys)
-    outcome.pages_read += len(missing)
-    outcome.pages_reused += len(pinned_keys) - len(missing)
+    # A real pin scope, not just the docstring's promise: the side fits in
+    # B − 1 frames by the caller's branch condition, streamed pages bypass
+    # the pool, and partner fetches all hit — so the pins never change the
+    # accounting; they assert the "never evicted" invariant structurally.
+    with pool.pinned(pinned_keys) as staged:
+        outcome.pages_read += len(staged.missing)
+        outcome.pages_reused += len(pinned_keys) - len(staged.missing)
 
-    for page in stream_pages:
-        if pool.contains(stream_id, page):
-            # Self join: the page arrived with the pinned side already.
-            stream_payload = pool.fetch(stream_id, page)
-            outcome.pages_reused += 1
-        else:
-            pool.disk.read(stream_id, page)
-            stream_payload = stream_dataset.page_objects(page)
-            outcome.pages_read += 1
-        partners = matrix.row_cols(page) if pin_cols else matrix.col_rows(page)
-        for partner in partners:
-            if pin_cols:
-                row, col = page, partner
-                r_payload, s_payload = stream_payload, pool.fetch(s_id, col)
+        for page in stream_pages:
+            if pool.contains(stream_id, page):
+                # Self join: the page arrived with the pinned side already.
+                stream_payload = pool.fetch(stream_id, page)
+                outcome.pages_reused += 1
             else:
-                row, col = partner, page
-                r_payload, s_payload = pool.fetch(r_id, row), stream_payload
-            _join_entry(page_pair_join, row, col, r_payload, s_payload, outcome)
+                pool.disk.read(stream_id, page)
+                stream_payload = stream_dataset.page_objects(page)
+                outcome.pages_read += 1
+            partners = matrix.row_cols(page) if pin_cols else matrix.col_rows(page)
+            for partner in partners:
+                if pin_cols:
+                    row, col = page, partner
+                    r_payload, s_payload = stream_payload, pool.fetch(s_id, col)
+                else:
+                    row, col = partner, page
+                    r_payload, s_payload = pool.fetch(r_id, row), stream_payload
+                _join_entry(page_pair_join, row, col, r_payload, s_payload, outcome)
 
 
 def _streaming_join(

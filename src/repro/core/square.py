@@ -30,7 +30,7 @@ which the equivalence suite pins on random matrices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -46,6 +46,12 @@ _BARREN_COLUMN_PATIENCE_FACTOR = 1
 
 # Columns whose hit counts are evaluated per vectorised phase-2 round.
 _PHASE2_CHUNK = 128
+
+# Expected marked entries per cluster rectangle (density · r · c) below
+# which the scalar sweep outruns the vectorised one: tiny clusters spend
+# more on numpy dispatch than on the work itself, so a small-B/sparse
+# run crosses over to plain-int loops on the same CSR arrays.
+_SCALAR_CROSSOVER = 64.0
 
 
 @dataclass
@@ -93,12 +99,23 @@ def square_clustering(
     if target_aspect <= 0:
         raise ValueError(f"target_aspect must be positive, got {target_aspect}")
 
-    work = matrix.csr_view()
     stats = SquareClusteringStats()
-    clusters: List[Cluster] = []
     target_rows = max(1, min(buffer_pages - 1, round(buffer_pages * target_aspect / (1.0 + target_aspect))))
     patience = max(1, _BARREN_COLUMN_PATIENCE_FACTOR * buffer_pages)
+    # Decision-identical sweep implementations; pick by expected cluster
+    # size (both are pinned against the scalar reference by the
+    # equivalence suite, so the choice is purely a speed matter): tiny
+    # clusters run plain-int loops, large ones the vectorised CSR sweep.
+    expected_cluster_entries = (
+        matrix.density() * target_rows * max(1, buffer_pages - target_rows)
+    )
+    if expected_cluster_entries < _SCALAR_CROSSOVER:
+        return _square_clustering_scalar(
+            matrix, buffer_pages, target_rows, patience, stats, recorder
+        )
 
+    work = matrix.csr_view()
+    clusters: List[Cluster] = []
     while work.num_marked:
         if work.num_marked * 2 < work.entry_rows.size:
             # Entry ids are never held across clusters, so rebuilding the
@@ -266,6 +283,138 @@ def _build_one_cluster(
         a_ids = np.concatenate([a_ids] + admitted)
     assert a_ids.size, "square clustering produced an empty cluster"
     return a_ids
+
+
+def _square_clustering_scalar(
+    matrix: PredictionMatrix,
+    buffer_pages: int,
+    target_rows: int,
+    patience: int,
+    stats: SquareClusteringStats,
+    recorder: Recorder,
+) -> Tuple[List[Cluster], SquareClusteringStats]:
+    """The SC loop as plain-int sweeps over per-column dicts.
+
+    Decision- and counter-identical to the vectorised CSR path (both
+    replay :func:`repro.core.clusters_reference.square_clustering_reference`);
+    faster when clusters are tiny because each column holds a handful of
+    entries — dict probes beat numpy dispatch at that size.  Column maps
+    are filled in ``(col, row)`` order and only ever deleted from, so
+    iterating one yields its live rows ascending without re-sorting.
+    """
+    rows_arr, cols_arr = matrix.to_coo()
+    order = np.lexsort((rows_arr, cols_arr))
+    col_maps: Dict[int, Dict[int, None]] = {}
+    for row, col in zip(rows_arr[order].tolist(), cols_arr[order].tolist()):
+        col_maps.setdefault(col, {})[row] = None
+    cols_seq = sorted(col_maps)
+    dead_cols = 0
+    remaining = int(rows_arr.size)
+
+    clusters: List[Cluster] = []
+    while remaining:
+        if dead_cols * 2 > len(cols_seq):
+            cols_seq = [col for col in cols_seq if col_maps[col]]
+            dead_cols = 0
+        assigned = _build_one_cluster_scalar(
+            col_maps, cols_seq, buffer_pages, target_rows, patience, stats
+        )
+        for row, col in assigned:
+            col_rows = col_maps[col]
+            del col_rows[row]
+            if not col_rows:
+                dead_cols += 1
+        remaining -= len(assigned)
+        cluster = Cluster(cluster_id=len(clusters), entries=tuple(sorted(assigned)))
+        clusters.append(cluster)
+        stats.clusters_built += 1
+        if recorder.enabled:
+            recorder.observe("sc.cluster_entries", cluster.num_entries)
+            recorder.observe("sc.cluster_pages", cluster.num_pages)
+    recorder.count("sc.clusters_built", stats.clusters_built)
+    recorder.count("sc.columns_scanned", stats.columns_scanned)
+    recorder.count("sc.entries_scanned", stats.entries_scanned)
+    return clusters, stats
+
+
+def _build_one_cluster_scalar(
+    col_maps: Dict[int, Dict[int, None]],
+    cols_seq: List[int],
+    buffer_pages: int,
+    target_rows: int,
+    patience: int,
+    stats: SquareClusteringStats,
+) -> List[Tuple[int, int]]:
+    """One two-phase sweep over the live column maps.
+
+    ``cols_seq`` is ascending and may contain exhausted columns (lazy
+    deletion); those are skipped, matching the reference's view of only
+    the still-marked columns.
+    """
+    # Phase 1: accumulate candidate columns until enough distinct rows.
+    seen: Dict[int, None] = {}  # insertion-ordered distinct rows
+    phase1_cols: List[int] = []
+    n_cols = len(cols_seq)
+    at = 0
+    while at < n_cols:
+        col = cols_seq[at]
+        at += 1
+        col_rows = col_maps[col]
+        if not col_rows:
+            continue
+        phase1_cols.append(col)
+        stats.columns_scanned += 1
+        stats.entries_scanned += len(col_rows)
+        for row in col_rows:
+            if row not in seen:
+                seen[row] = None
+        if len(seen) >= target_rows:
+            break
+        if len(phase1_cols) + len(seen) >= buffer_pages:
+            break
+    chosen = set(sorted(seen)[: min(target_rows, len(seen))])
+
+    # Entries of phase-1 columns restricted to the chosen rows.
+    assigned: List[Tuple[int, int]] = []
+    assigned_cols: List[int] = []  # ascending (phase1_cols is)
+    for col in phase1_cols:
+        hits = [row for row in col_maps[col] if row in chosen]
+        stats.entries_scanned += len(hits)
+        if hits:
+            assigned_cols.append(col)
+            assigned.extend((row, col) for row in hits)
+
+    # Shed trailing (widest) columns while the cluster overshoots B.
+    cur_rows = chosen
+    while len(cur_rows) + len(assigned_cols) > buffer_pages:
+        victim = assigned_cols.pop()  # the maximum: the list is ascending
+        assigned = [(row, col) for row, col in assigned if col != victim]
+        cur_rows = {row for row, _col in assigned}
+
+    # Phase 2: admit further columns while the buffer has room.
+    barren_streak = 0
+    while at < n_cols:
+        col = cols_seq[at]
+        at += 1
+        col_rows = col_maps[col]
+        if not col_rows:
+            continue
+        if len(cur_rows) + len(assigned_cols) >= buffer_pages:
+            break
+        if barren_streak >= patience:
+            break
+        stats.columns_scanned += 1
+        hits = [row for row in col_rows if row in cur_rows]
+        stats.entries_scanned += len(hits)
+        if hits:
+            assigned_cols.append(col)
+            assigned.extend((row, col) for row in hits)
+            barren_streak = 0
+        else:
+            barren_streak += 1
+
+    assert assigned, "square clustering produced an empty cluster"
+    return assigned
 
 
 def _gather_live(work: CSRWorkMatrix, cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

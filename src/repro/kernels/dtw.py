@@ -22,12 +22,14 @@ import numpy as np
 
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
-__all__ = ["batch_envelopes", "lb_keogh_block", "dtw_batch"]
+__all__ = ["batch_envelopes", "lb_keogh_block", "lb_keogh_panel", "dtw_batch"]
 
 # DP state is (pairs, w+1) float64 per buffer; 4096 pairs at w = 512 is
 # ~16 MiB of working set — safely inside cache-friendly territory.
 _CHUNK_PAIRS = 4096
 _LB_CHUNK_ROWS = 512
+# Gathered LB_Keogh bounds its (cells, w) gap temporary by elements.
+_LB_CELL_BUDGET = 1 << 22
 
 
 def batch_envelopes(windows: np.ndarray, band: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -69,6 +71,36 @@ def lb_keogh_block(
     return out
 
 
+def lb_keogh_panel(
+    left_rows: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+) -> np.ndarray:
+    """LB_Keogh of a left block against a gathered envelope panel.
+
+    The mega-batch form of :func:`lb_keogh_block`: ``left_rows`` is one
+    left page's windows and ``lowers``/``uppers`` the gathered envelopes
+    of the page's marked col pages' windows, so the gap tensor covers
+    the marked region only.  The panel is chunked along its columns to
+    keep the ``(rows, chunk, w)`` temporary cell-budgeted.  Per cell the
+    float64 operations (and the contiguous-axis pairwise summation)
+    match :func:`lb_keogh_block` exactly, so the bounds are
+    bit-identical.
+    """
+    left_arr = np.atleast_2d(np.asarray(left_rows, dtype=np.float64))
+    w = max(1, left_arr.shape[1])
+    out = np.empty((left_arr.shape[0], lowers.shape[0]))
+    chunk_cols = max(1, _LB_CELL_BUDGET // max(1, left_arr.shape[0] * w))
+    for lo in range(0, lowers.shape[0], chunk_cols):
+        hi = lo + chunk_cols
+        gap = np.maximum(
+            np.maximum(lowers[lo:hi][None, :, :] - left_arr[:, None, :], 0.0),
+            np.maximum(left_arr[:, None, :] - uppers[lo:hi][None, :, :], 0.0),
+        )
+        out[:, lo:hi] = np.sqrt(np.sum(gap * gap, axis=2))
+    return out
+
+
 def dtw_batch(
     a: np.ndarray,
     b: np.ndarray,
@@ -106,6 +138,7 @@ def dtw_batch(
         )
         abandoned += retired
     if recorder.enabled:
+        recorder.count("kernel.dtw.invocations")
         recorder.count("kernel.dtw.pairs", int(a_arr.shape[0]))
         recorder.count("kernel.dtw.abandoned", abandoned)
     return out

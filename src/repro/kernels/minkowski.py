@@ -20,16 +20,30 @@ import numpy as np
 
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
-__all__ = ["minkowski_pairs", "minkowski_pairwise"]
+__all__ = [
+    "minkowski_pairs",
+    "minkowski_pairwise",
+    "euclidean_gram_panel",
+    "minkowski_refine",
+]
 
 _DEFAULT_CHUNK_ROWS = 1024
 # Refine stage gathers candidate pairs; bound its temporary the same way.
 _CHUNK_PAIRS = 8192
+# Mega-batch blocks stack many pages per side; bound the (chunk, cols)
+# Gram temporary by cells instead of a fixed row count so memory stays
+# flat however wide the block is.
+_BLOCK_CELL_BUDGET = 1 << 22
 # Relative rounding slack for the Gram filter.  A d-term float64 dot
 # product accumulates error below d·u·(|l|²+|r|²) with u = 2⁻⁵³; 2⁻³⁰
 # covers any realistic dimensionality (d up to ~10⁷) with room to spare,
 # yet admits essentially no extra candidates.
 _GRAM_SLACK = 2.0**-30
+
+
+def _block_chunk_rows(num_cols: int, cell_budget: int = _BLOCK_CELL_BUDGET) -> int:
+    """Left rows per chunk so a ``(chunk, num_cols)`` temporary fits the budget."""
+    return max(1, cell_budget // max(1, num_cols))
 
 
 def minkowski_pairs(
@@ -58,6 +72,7 @@ def minkowski_pairs(
             candidates += cand
             pairs.extend(zip((rows + start).tolist(), cols.tolist()))
         if recorder.enabled:
+            recorder.count("kernel.minkowski.invocations")
             recorder.count(
                 "kernel.minkowski.pairs_tested",
                 left_arr.shape[0] * right_arr.shape[0],
@@ -71,6 +86,7 @@ def minkowski_pairs(
         rows, cols = np.nonzero(dists <= epsilon)
         pairs.extend(zip((rows + start).tolist(), cols.tolist()))
     if recorder.enabled and p != 2.0:
+        recorder.count("kernel.minkowski.invocations")
         recorder.count(
             "kernel.minkowski.pairs_tested", left_arr.shape[0] * right_arr.shape[0]
         )
@@ -143,3 +159,65 @@ def minkowski_pairwise(
         chunk = left_arr[start : start + chunk_rows]
         out[start : start + chunk.shape[0]] = _exact_chunk(chunk, right_arr, p)
     return out
+
+
+def euclidean_gram_panel(
+    left_rows: np.ndarray,
+    right_panel: np.ndarray,
+    left_sq: np.ndarray,
+    right_sq: np.ndarray,
+    epsilon: float,
+) -> np.ndarray:
+    """Gram-prefilter decisions for a left block × gathered right panel.
+
+    The mega-batch p = 2 prefilter: ``left_rows`` is one left page's
+    objects, ``right_panel`` the gathered objects of the page's marked
+    col pages, and ``left_sq``/``right_sq`` their precomputed squared
+    norms.  Returns the boolean ``(len(left_rows), len(right_panel))``
+    decision matrix; the panel is chunked along its columns so the
+    float temporaries stay cell-budgeted.  Every elementwise pass is a
+    contiguous broadcast performing :func:`minkowski_pairs`'s Gram-stage
+    float64 operations in the same order, so decisions agree up to the
+    rounding margin the slack already absorbs.
+    """
+    out = np.empty((left_rows.shape[0], right_panel.shape[0]), dtype=bool)
+    chunk_cols = max(1, _BLOCK_CELL_BUDGET // max(1, left_rows.shape[0]))
+    eps_sq = epsilon * epsilon
+    for lo in range(0, right_panel.shape[0], chunk_cols):
+        hi = lo + chunk_cols
+        base = left_sq[:, None] + right_sq[lo:hi][None, :]
+        gram_sq = base - 2.0 * (left_rows @ right_panel[lo:hi].T)
+        out[:, lo:hi] = gram_sq <= eps_sq + _GRAM_SLACK * base
+    return out
+
+
+def minkowski_refine(
+    left: np.ndarray,
+    right: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    epsilon: float,
+    p: float,
+) -> np.ndarray:
+    """Exact ``||left[rows[k]] - right[cols[k]]||_p <= epsilon`` decisions.
+
+    The gathered difference form, chunked to bound the temporary — the
+    same float64 operations in the same order as the per-pair reference
+    (:func:`minkowski_pairs`'s refine stage for p = 2, ``_exact_chunk``
+    otherwise), so decisions are bit-identical per pair regardless of
+    which other pairs share the batch.
+    """
+    left_arr = np.atleast_2d(np.asarray(left, dtype=np.float64))
+    right_arr = np.atleast_2d(np.asarray(right, dtype=np.float64))
+    keep = np.empty(rows.shape[0], dtype=bool)
+    for lo in range(0, rows.shape[0], _CHUNK_PAIRS):
+        hi = lo + _CHUNK_PAIRS
+        diff = left_arr[rows[lo:hi]] - right_arr[cols[lo:hi]]
+        if p == 2.0:
+            keep[lo:hi] = np.sqrt(np.sum(diff * diff, axis=1)) <= epsilon
+        elif np.isinf(p):
+            keep[lo:hi] = np.abs(diff).max(axis=1) <= epsilon
+        else:
+            np.abs(diff, out=diff)
+            keep[lo:hi] = np.sum(diff**p, axis=1) ** (1.0 / p) <= epsilon
+    return keep

@@ -13,6 +13,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.recorder import (
+    BATCHING_VARIANT_COUNTERS,
     NULL_RECORDER,
     Histogram,
     InMemoryRecorder,
@@ -23,6 +24,7 @@ from repro.obs.recorder import (
 )
 
 __all__ = [
+    "BATCHING_VARIANT_COUNTERS",
     "Recorder",
     "NullRecorder",
     "InMemoryRecorder",

@@ -43,7 +43,25 @@ __all__ = [
     "InMemoryRecorder",
     "JsonlRecorder",
     "NULL_RECORDER",
+    "BATCHING_VARIANT_COUNTERS",
 ]
+
+# Counters that measure *how* work was batched rather than *what* work
+# was done.  The cluster executor's mega-batch mode fuses every page
+# pair of a cluster into one filter-and-refine cascade (span
+# ``execute.megabatch``), so kernel-invocation counts collapse from one
+# per page pair to one per cluster while every semantic counter (pairs
+# tested/accepted, candidates, abandons, comparisons, I/O) stays
+# bit-identical to the per-pair path.  Equivalence checks between
+# batching modes must ignore exactly this set and nothing else.
+BATCHING_VARIANT_COUNTERS = frozenset(
+    {
+        "kernel.minkowski.invocations",
+        "kernel.dtw.invocations",
+        "kernel.edit.invocations",
+        "executor.megabatch_clusters",
+    }
+)
 
 
 class Span:

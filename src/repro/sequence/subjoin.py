@@ -54,6 +54,7 @@ def subsequence_join(
     seed: int = 0,
     workers: int = 1,
     recorder: Optional[Recorder] = None,
+    batch_pairs: Optional[int] = None,
 ) -> SubsequenceJoinResult:
     """Find all window pairs of length ``window_length`` within ``epsilon``.
 
@@ -65,7 +66,9 @@ def subsequence_join(
     :func:`repro.core.join.join`); results and simulated I/O are
     identical to the serial run.  ``recorder`` forwards a
     :class:`repro.obs.Recorder` to the underlying page join for span
-    traces and metrics.
+    traces and metrics.  ``batch_pairs`` sets the cluster-execution
+    granularity (``None`` = whole-cluster mega-batch, ``1`` = per page
+    pair) without changing results or accounting.
 
     Examples
     --------
@@ -92,6 +95,7 @@ def subsequence_join(
         seed=seed,
         workers=workers,
         recorder=recorder,
+        batch_pairs=batch_pairs,
     )
     return SubsequenceJoinResult(
         offsets=result.pairs,

@@ -11,7 +11,7 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["window_count", "window_at"]
+__all__ = ["window_count", "window_at", "windows_view", "byte_windows_view"]
 
 Sequence = Union[str, np.ndarray]
 
@@ -37,3 +37,42 @@ def window_at(sequence: Sequence, offset: int, window_length: int) -> Sequence:
             f"window offset {offset} out of range (sequence has {count} windows)"
         )
     return sequence[offset : offset + window_length]
+
+
+def windows_view(values: np.ndarray, window_length: int) -> np.ndarray:
+    """Every window of a numeric sequence as one strided matrix.
+
+    Returns the ``(num_windows, window_length)`` sliding-window view over
+    ``values`` — zero-copy: row ``i`` is the window starting at offset
+    ``i``, so window offsets double as row indices.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"windows_view expects a 1-d array, got shape {arr.shape}")
+    if window_length <= 0:
+        raise ValueError(f"window_length must be positive, got {window_length}")
+    if arr.shape[0] < window_length:
+        raise ValueError(
+            f"sequence of length {arr.shape[0]} is shorter than window_length "
+            f"{window_length}"
+        )
+    return np.lib.stride_tricks.sliding_window_view(arr, window_length)
+
+
+def byte_windows_view(text: str, window_length: int) -> np.ndarray:
+    """Every window of a text sequence as one strided uint8 matrix.
+
+    The string is encoded once with latin-1 (one byte per code point below
+    256 — the convention shared with :func:`repro.kernels.edit.encode_strings`)
+    and viewed as a ``(num_windows, window_length)`` sliding window, so the
+    per-window cost is zero copies after the single encode.
+    """
+    if window_length <= 0:
+        raise ValueError(f"window_length must be positive, got {window_length}")
+    if len(text) < window_length:
+        raise ValueError(
+            f"sequence of length {len(text)} is shorter than window_length "
+            f"{window_length}"
+        )
+    codes = np.frombuffer(text.encode("latin-1"), dtype=np.uint8)
+    return np.lib.stride_tricks.sliding_window_view(codes, window_length)

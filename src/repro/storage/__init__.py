@@ -6,9 +6,10 @@ Every join technique in this package performs its page reads through a
 simulated I/O seconds are accounted uniformly and comparably.
 """
 
-from repro.storage.buffer import REPLACEMENT_POLICIES, BufferPool
+from repro.storage.buffer import REPLACEMENT_POLICIES, BufferPool, PinnedBatch
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import (
+    PageBlock,
     PagedDataset,
     SequencePagedDataset,
     VectorPagedDataset,
@@ -24,13 +25,15 @@ from repro.storage.persist import (
 )
 from repro.storage.scheduler import plan_batch_read
 from repro.storage.stats import CostReport, IOStats
-from repro.storage.trace import AccessTrace, TraceSummary, attach_trace
+from repro.storage.trace import AccessTrace, TraceSummary
 
 __all__ = [
     "BufferPool",
+    "PinnedBatch",
     "REPLACEMENT_POLICIES",
     "SimulatedDisk",
     "PagedDataset",
+    "PageBlock",
     "VectorPagedDataset",
     "SequencePagedDataset",
     "plan_batch_read",
@@ -45,5 +48,4 @@ __all__ = [
     "invalidate_matrix_cache",
     "AccessTrace",
     "TraceSummary",
-    "attach_trace",
 ]

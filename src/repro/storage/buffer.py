@@ -21,7 +21,7 @@ from repro.storage.disk import SimulatedDisk
 from repro.storage.page import PagedDataset
 from repro.storage.scheduler import plan_batch_read
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "PinnedBatch"]
 
 PageKey = Tuple[Hashable, int]
 
@@ -66,6 +66,9 @@ class BufferPool:
         self._datasets: Dict[Hashable, PagedDataset] = {}
         self._frames: "OrderedDict[PageKey, np.ndarray]" = OrderedDict()
         self._reserved = 0
+        # Pin reference counts: pinned pages are never chosen as eviction
+        # victims while any scope holds them (see :meth:`pinned`).
+        self._pins: Dict[PageKey, int] = {}
 
     # -- dataset registration ----------------------------------------------
 
@@ -163,6 +166,35 @@ class BufferPool:
             self._frames[key] = dataset.page_objects(page_no)
         return missing
 
+    def pinned(self, pages: Iterable[PageKey]) -> "PinnedBatch":
+        """Stage a page set and pin it for the duration of a ``with`` block.
+
+        ``with pool.pinned(page_nos) as staged:`` brings the pages into
+        the buffer exactly like :meth:`load_batch` (same hit/miss/read
+        accounting, same optimally scheduled reads) and additionally pins
+        them: while the scope is open, no pinned page can be chosen as an
+        eviction victim.  ``staged.missing`` lists the keys that were
+        physically read.  Pins nest (a page pinned by two scopes stays
+        pinned until both exit) and are released on scope exit even when
+        the body raises.
+
+        Under LRU the pins are pure insurance — :meth:`load_batch` never
+        evicts a member of the batch it is loading, and re-fetching a
+        staged page is always a hit — so the accounting is identical with
+        or without the scope.  Under FIFO/MRU, whose victim choice can
+        throw out a page of the very batch being staged, pinning prevents
+        the re-read: strictly fewer (never more) physical reads.
+
+        Raises ``ValueError`` if the requested pages (together with pages
+        pinned by enclosing scopes) would exceed the available frames —
+        over-pinning would make eviction impossible.
+        """
+        return PinnedBatch(self, list(dict.fromkeys(pages)))
+
+    def pinned_pages(self) -> List[PageKey]:
+        """Currently pinned page keys (unordered snapshot)."""
+        return list(self._pins)
+
     def contains(self, dataset_id: Hashable, page_no: int) -> bool:
         """True iff the page is currently buffered (no LRU update)."""
         return (dataset_id, page_no) in self._frames
@@ -189,14 +221,85 @@ class BufferPool:
         """Evict victims per policy until at most ``frames`` remain.
 
         LRU and FIFO evict from the cold end; MRU evicts the hottest frame.
+        Pinned pages are skipped — the policy's order applies to the
+        unpinned frames only.  Raises ``ValueError`` when the target is
+        unreachable because every remaining frame is pinned.
         """
         target = max(frames, 0)
         evict_last = self.policy == "mru"
-        if self.recorder.enabled:
+        if not self._pins:
+            if self.recorder.enabled:
+                while len(self._frames) > target:
+                    (dataset_id, page_no), _ = self._frames.popitem(last=evict_last)
+                    self.recorder.count("buffer.evictions")
+                    self.recorder.event("buffer.evict", dataset=dataset_id, page=page_no)
+                return
             while len(self._frames) > target:
-                (dataset_id, page_no), _ = self._frames.popitem(last=evict_last)
-                self.recorder.count("buffer.evictions")
-                self.recorder.event("buffer.evict", dataset=dataset_id, page=page_no)
+                self._frames.popitem(last=evict_last)
             return
         while len(self._frames) > target:
-            self._frames.popitem(last=evict_last)
+            order = reversed(self._frames) if evict_last else iter(self._frames)
+            victim = next((key for key in order if key not in self._pins), None)
+            if victim is None:
+                raise ValueError(
+                    f"cannot evict to {target} frames: all "
+                    f"{len(self._frames)} buffered pages are pinned"
+                )
+            del self._frames[victim]
+            if self.recorder.enabled:
+                dataset_id, page_no = victim
+                self.recorder.count("buffer.evictions")
+                self.recorder.event("buffer.evict", dataset=dataset_id, page=page_no)
+
+    def _pin(self, keys: List[PageKey]) -> None:
+        """Add one pin reference per key; validates the pin budget first."""
+        new_distinct = sum(1 for key in set(keys) if key not in self._pins)
+        if len(self._pins) + new_distinct > self.available:
+            raise ValueError(
+                f"pinning {len(keys)} pages (of which {new_distinct} newly "
+                f"pinned, {len(self._pins)} already pinned) exceeds the "
+                f"available buffer of {self.available} frames"
+            )
+        for key in keys:
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def _unpin(self, keys: List[PageKey]) -> None:
+        for key in keys:
+            count = self._pins.get(key, 0)
+            if count <= 1:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count - 1
+
+
+class PinnedBatch:
+    """Context manager returned by :meth:`BufferPool.pinned`.
+
+    Pins on entry, stages the page set with :meth:`BufferPool.load_batch`
+    semantics, and unpins on exit.  ``missing`` holds the keys that were
+    physically read (valid after ``__enter__``).
+    """
+
+    def __init__(self, pool: BufferPool, keys: List[PageKey]) -> None:
+        self._pool = pool
+        self._keys = keys
+        self._active = False
+        self.missing: List[PageKey] = []
+
+    def __enter__(self) -> "PinnedBatch":
+        if self._active:
+            raise RuntimeError("PinnedBatch scope is not re-entrant")
+        self._pool._pin(self._keys)
+        self._active = True
+        try:
+            self.missing = self._pool.load_batch(self._keys)
+        except BaseException:
+            self._pool._unpin(self._keys)
+            self._active = False
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._active:
+            self._pool._unpin(self._keys)
+            self._active = False

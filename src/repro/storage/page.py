@@ -19,17 +19,97 @@ Two flavours exist, matching the paper's two data classes:
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Hashable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-__all__ = ["PagedDataset", "VectorPagedDataset", "SequencePagedDataset"]
+__all__ = ["PagedDataset", "PageBlock", "VectorPagedDataset", "SequencePagedDataset"]
 
 _dataset_counter = itertools.count()
 
 
 def _fresh_dataset_id(prefix: str) -> str:
     return f"{prefix}-{next(_dataset_counter)}"
+
+
+@dataclass(frozen=True)
+class PageBlock:
+    """Columnar view over a set of pages: stacked objects plus offsets.
+
+    The cluster executor stages whole page sets; this is their zero-copy
+    (or single-gather) in-memory form.  ``objects`` stacks every object of
+    the requested pages in page order; the offset arrays say where each
+    page starts, so joiners address objects by ``(page, local)`` without
+    materialising per-page payload lists:
+
+    * ``objects[starts[k] : starts[k] + counts[k]]`` are the objects of
+      ``page_nos[k]``;
+    * object ``local`` of ``page_nos[k]`` has dataset-global id
+      ``global_starts[k] + local``.
+
+    When the requested pages are physically contiguous, ``objects`` is a
+    strict view of the dataset's backing array; otherwise it is one fused
+    gather (never per-page copies).
+    """
+
+    page_nos: np.ndarray  # (k,) int64, strictly increasing
+    objects: np.ndarray  # (n, ...) stacked joinable objects, page order
+    starts: np.ndarray  # (k,) int64 — first stacked row of each page
+    counts: np.ndarray  # (k,) int64 — objects per page
+    global_starts: np.ndarray  # (k,) int64 — global id of each page's first object
+
+    @property
+    def total_objects(self) -> int:
+        return self.objects.shape[0]
+
+    def page_index_of(self, stacked: np.ndarray) -> np.ndarray:
+        """Block-local page index (into ``page_nos``) of stacked rows."""
+        return np.searchsorted(self.starts, stacked, side="right") - 1
+
+    def globalise(self, stacked: np.ndarray) -> np.ndarray:
+        """Dataset-global object ids of stacked rows."""
+        page_idx = self.page_index_of(stacked)
+        return self.global_starts[page_idx] + (stacked - self.starts[page_idx])
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        """Global object id of every stacked row, in stacked order."""
+        return np.repeat(self.global_starts - self.starts, self.counts) + np.arange(
+            self.total_objects, dtype=np.int64
+        )
+
+
+def _block_layout(
+    page_nos: Sequence[int], lo: np.ndarray, hi: np.ndarray, num_pages: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]":
+    """Shared ``pages_view`` geometry for both dataset flavours.
+
+    ``lo``/``hi`` are the half-open global object ranges of every page of
+    the dataset.  Returns ``(pages, starts, counts, gather)`` where
+    ``gather`` is ``None`` when the requested pages cover one contiguous
+    global range (zero-copy slice) and otherwise the fused gather index.
+    """
+    pages = np.asarray(page_nos, dtype=np.int64)
+    if pages.ndim != 1 or pages.size == 0:
+        raise ValueError("pages_view expects a non-empty 1-d page list")
+    if pages[0] < 0 or pages[-1] >= num_pages or np.any(np.diff(pages) <= 0):
+        raise ValueError(
+            f"pages_view expects strictly increasing page numbers in "
+            f"[0, {num_pages}), got {pages.tolist()}"
+        )
+    page_lo = lo[pages]
+    page_hi = hi[pages]
+    counts = page_hi - page_lo
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    if np.array_equal(page_lo[1:], page_hi[:-1]):
+        return pages, starts, counts, None
+    gather = (
+        np.arange(int(counts.sum()), dtype=np.int64)
+        - np.repeat(starts, counts)
+        + np.repeat(page_lo, counts)
+    )
+    return pages, starts, counts, gather
 
 
 @runtime_checkable
@@ -54,6 +134,9 @@ class PagedDataset(Protocol):
 
     def global_object_id(self, page_no: int, local_index: int) -> int:
         """Stable dataset-wide id of an object, for reporting join pairs."""
+
+    def pages_view(self, page_nos: Sequence[int]) -> PageBlock:
+        """Columnar view over a page set (see :class:`PageBlock`)."""
 
 
 class VectorPagedDataset:
@@ -155,6 +238,29 @@ class VectorPagedDataset:
             raise IndexError(f"local index {local_index} out of range for page {page_no}")
         return start + local_index
 
+    def pages_view(self, page_nos: Sequence[int]) -> PageBlock:
+        """Columnar view over a page set: stacked rows plus offsets.
+
+        Contiguous page runs return a strict slice view of the backing
+        array; arbitrary sets do one fused gather.  Global object ids
+        equal backing-array row indices, so ``global_starts`` is just the
+        page offsets.
+        """
+        pages, starts, counts, gather = _block_layout(
+            page_nos, self._offsets[:-1], self._offsets[1:], self.num_pages
+        )
+        if gather is None:
+            objects = self._data[int(self._offsets[pages[0]]) : int(self._offsets[pages[-1] + 1])]
+        else:
+            objects = self._data[gather]
+        return PageBlock(
+            page_nos=pages,
+            objects=objects,
+            starts=starts,
+            counts=counts,
+            global_starts=self._offsets[pages],
+        )
+
     @property
     def vectors(self) -> np.ndarray:
         """The full underlying array (read-only by convention)."""
@@ -204,6 +310,7 @@ class SequencePagedDataset:
         self.symbols_per_page = symbols_per_page
         self.window_length = window_length
         self._seq_len = seq_len
+        self._windows_cache: "np.ndarray | None" = None
         self.dataset_id = dataset_id if dataset_id is not None else _fresh_dataset_id("seq")
 
     @property
@@ -266,3 +373,47 @@ class SequencePagedDataset:
         if not 0 <= local_index < stop - start:
             raise IndexError(f"local index {local_index} out of range for page {page_no}")
         return start + local_index
+
+    def windows_matrix(self) -> np.ndarray:
+        """All windows of the sequence as one ``(num_windows, w)`` view.
+
+        Numeric sequences give the float64 sliding-window view; text gives
+        the latin-1 byte-window view (the kernels' shared encoding).  Built
+        once and cached — it is a strided view (text pays one encode), and
+        every window offset is directly its row index.
+        """
+        if self._windows_cache is None:
+            from repro.sequence.windows import byte_windows_view, windows_view
+
+            if self.is_text:
+                self._windows_cache = byte_windows_view(self._seq, self.window_length)
+            else:
+                self._windows_cache = windows_view(self._seq, self.window_length)
+        return self._windows_cache
+
+    def pages_view(self, page_nos: Sequence[int]) -> PageBlock:
+        """Columnar view over a page set's windows.
+
+        ``objects`` stacks the pages' windows as rows of
+        :meth:`windows_matrix` — float64 windows for numeric sequences,
+        latin-1 byte rows for text (page payloads for text remain string
+        lists; the columnar form is what the batched kernels consume).
+        Contiguous pages return a strict view; global ids are window start
+        offsets.
+        """
+        num_pages = self.num_pages
+        lo = np.arange(num_pages, dtype=np.int64) * self.symbols_per_page
+        hi = np.minimum(lo + self.symbols_per_page, self.num_windows)
+        pages, starts, counts, gather = _block_layout(page_nos, lo, hi, num_pages)
+        windows = self.windows_matrix()
+        if gather is None:
+            objects = windows[int(lo[pages[0]]) : int(hi[pages[-1]])]
+        else:
+            objects = windows[gather]
+        return PageBlock(
+            page_nos=pages,
+            objects=objects,
+            starts=starts,
+            counts=counts,
+            global_starts=lo[pages],
+        )

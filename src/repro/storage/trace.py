@@ -29,14 +29,13 @@ to its own event stream: block adjacency, first event a seek.
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.storage.disk import SimulatedDisk
 
-__all__ = ["AccessTrace", "TraceSummary", "attach_trace"]
+__all__ = ["AccessTrace", "TraceSummary"]
 
 
 @dataclass
@@ -134,21 +133,3 @@ class AccessTrace:
             max_run_length=max(runs),
             reads_per_dataset=dict(per_dataset),
         )
-
-
-def attach_trace(disk: SimulatedDisk) -> AccessTrace:
-    """Deprecated: use ``AccessTrace.attach(disk)``.
-
-    Historically this monkeypatched ``disk.read``; it is now a thin shim
-    over the disk's native :meth:`~SimulatedDisk.subscribe` event stream
-    and will be removed in a future release.  Bulk ``charge_stream``
-    accounting is still not traced (it has no per-page identity).
-    """
-    warnings.warn(
-        "attach_trace(disk) is deprecated; use AccessTrace.attach(disk), which "
-        "subscribes to the disk's native read events instead of monkeypatching "
-        "disk.read",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return AccessTrace.attach(disk)

@@ -1,0 +1,184 @@
+"""Unit tests for pin-scoped staging (``BufferPool.pinned``)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.buffer import BufferPool, PinnedBatch
+from repro.storage.page import VectorPagedDataset
+
+
+@pytest.fixture
+def dataset():
+    return VectorPagedDataset(
+        np.arange(40, dtype=float).reshape(20, 2), objects_per_page=2, dataset_id="d"
+    )
+
+
+def make_pool(disk, dataset, policy="lru", capacity=4):
+    pool = BufferPool(disk, capacity=capacity, policy=policy)
+    pool.attach(dataset)
+    return pool
+
+
+class TestPinnedStaging:
+    def test_stages_like_load_batch(self, disk, dataset):
+        pool = make_pool(disk, dataset)
+        pool.fetch("d", 1)
+        with pool.pinned([("d", 0), ("d", 1), ("d", 2)]) as staged:
+            assert staged.missing == [("d", 0), ("d", 2)]
+            assert disk.stats.transfers == 3
+            assert disk.stats.buffer_hits == 1
+            assert sorted(pool.pinned_pages()) == [("d", 0), ("d", 1), ("d", 2)]
+        assert pool.pinned_pages() == []
+
+    def test_eviction_skips_pinned(self, disk, dataset):
+        pool = make_pool(disk, dataset, capacity=3)
+        with pool.pinned([("d", 0), ("d", 1)]):
+            pool.fetch("d", 2)
+            # 0 is the LRU victim but pinned; 2 is the only evictable frame.
+            pool.fetch("d", 9)
+            assert pool.contains("d", 0)
+            assert pool.contains("d", 1)
+            assert not pool.contains("d", 2)
+
+    def test_all_pinned_eviction_raises(self, disk, dataset):
+        pool = make_pool(disk, dataset, capacity=2)
+        with pool.pinned([("d", 0), ("d", 1)]):
+            with pytest.raises(ValueError, match="pinned"):
+                pool.fetch("d", 2)
+
+    def test_over_pinning_raises(self, disk, dataset):
+        pool = make_pool(disk, dataset, capacity=2)
+        with pytest.raises(ValueError, match="exceeds the\n?\\s*available"):
+            with pool.pinned([("d", 0), ("d", 1), ("d", 2)]):
+                pass
+        assert pool.pinned_pages() == []
+
+    def test_nested_pins_release_in_order(self, disk, dataset):
+        pool = make_pool(disk, dataset, capacity=4)
+        with pool.pinned([("d", 0), ("d", 1)]):
+            with pool.pinned([("d", 1), ("d", 2)]):
+                assert sorted(pool.pinned_pages()) == [
+                    ("d", 0), ("d", 1), ("d", 2),
+                ]
+            # Page 1 stays pinned by the outer scope.
+            assert sorted(pool.pinned_pages()) == [("d", 0), ("d", 1)]
+        assert pool.pinned_pages() == []
+
+    def test_pins_released_when_body_raises(self, disk, dataset):
+        pool = make_pool(disk, dataset)
+        with pytest.raises(RuntimeError, match="boom"):
+            with pool.pinned([("d", 0)]):
+                raise RuntimeError("boom")
+        assert pool.pinned_pages() == []
+
+    def test_scope_not_reentrant(self, disk, dataset):
+        pool = make_pool(disk, dataset)
+        batch = pool.pinned([("d", 0)])
+        with batch:
+            with pytest.raises(RuntimeError, match="re-entrant"):
+                batch.__enter__()
+
+    def test_reserve_respects_pins(self, disk, dataset):
+        pool = make_pool(disk, dataset, capacity=4)
+        with pool.pinned([("d", 0), ("d", 1)]):
+            pool.fetch("d", 2)
+            pool.reserve(2)  # must evict down to 2 frames: victim is page 2
+            assert pool.contains("d", 0)
+            assert pool.contains("d", 1)
+            assert not pool.contains("d", 2)
+
+
+class TestPinnedAccountingIdentity:
+    """Under LRU, pinned staging is a pure accounting no-op."""
+
+    def _trace(self, disk, dataset, use_pins):
+        pool = make_pool(disk, dataset, capacity=3)
+        batches = [[("d", 0), ("d", 1)], [("d", 1), ("d", 2)], [("d", 0), ("d", 3)]]
+        residents = []
+        for batch in batches:
+            if use_pins:
+                with pool.pinned(batch):
+                    pool.fetch(*batch[0])
+                    pool.fetch(*batch[1])
+            else:
+                pool.load_batch(batch)
+                pool.fetch(*batch[0])
+                pool.fetch(*batch[1])
+            residents.append(pool.resident_pages())
+        return disk.stats.transfers, disk.stats.buffer_hits, residents
+
+    def test_lru_trace_identical_with_and_without_pins(self, cost_model, dataset):
+        from repro.storage.disk import SimulatedDisk
+
+        plain = self._trace(SimulatedDisk(cost_model), dataset, use_pins=False)
+        pinned = self._trace(SimulatedDisk(cost_model), dataset, use_pins=True)
+        assert pinned == plain
+
+    @pytest.mark.parametrize("policy", ["fifo", "mru"])
+    def test_non_lru_pins_never_read_more(self, cost_model, dataset, policy):
+        from repro.storage.disk import SimulatedDisk
+
+        def reads(use_pins):
+            disk = SimulatedDisk(cost_model)
+            pool = make_pool(disk, dataset, policy=policy, capacity=3)
+            for batch in (
+                [("d", 0), ("d", 1), ("d", 2)],
+                [("d", 1), ("d", 2), ("d", 3)],
+                [("d", 0), ("d", 2), ("d", 3)],
+            ):
+                if use_pins:
+                    with pool.pinned(batch):
+                        for key in batch:
+                            pool.fetch(*key)
+                else:
+                    pool.load_batch(batch)
+                    for key in batch:
+                        pool.fetch(*key)
+            return disk.stats.transfers
+
+        assert reads(True) <= reads(False)
+
+
+class TestPolicyTracesWithPins(object):
+    """Replacement behaviour stays policy-faithful on unpinned frames."""
+
+    def test_fifo_evicts_oldest_unpinned(self, disk, dataset):
+        pool = make_pool(disk, dataset, policy="fifo", capacity=3)
+        for page in (0, 1, 2):
+            pool.fetch("d", page)
+        with pool.pinned([("d", 0)]):
+            pool.fetch("d", 9)  # oldest is 0 (pinned) -> evict 1
+            assert pool.contains("d", 0)
+            assert not pool.contains("d", 1)
+
+    def test_mru_evicts_hottest_unpinned(self, disk, dataset):
+        pool = make_pool(disk, dataset, policy="mru", capacity=3)
+        for page in (0, 1, 2):
+            pool.fetch("d", page)
+        with pool.pinned([("d", 2)]):
+            pool.fetch("d", 9)  # hottest is 2 (pinned) -> evict 1
+            assert pool.contains("d", 2)
+            assert not pool.contains("d", 1)
+
+    def test_eviction_events_still_recorded(self, cost_model, dataset):
+        from repro.obs import InMemoryRecorder
+        from repro.storage.disk import SimulatedDisk
+
+        rec = InMemoryRecorder()
+        disk = SimulatedDisk(cost_model, recorder=rec)
+        pool = make_pool(disk, dataset, capacity=2)
+        with pool.pinned([("d", 0)]):
+            pool.fetch("d", 1)
+            pool.fetch("d", 2)  # evicts 1, the only unpinned frame
+        assert rec.counter("buffer.evictions") == 1
+        (event,) = [e for e in rec.events if e["name"] == "buffer.evict"]
+        assert event["fields"]["page"] == 1
+
+
+class TestPinnedBatchExport:
+    def test_exported_from_storage_package(self):
+        import repro.storage as storage
+
+        assert storage.PinnedBatch is PinnedBatch
+        assert "PinnedBatch" in storage.__all__

@@ -1,8 +1,6 @@
 """Unit tests for disk access tracing."""
 
-import pytest
-
-from repro.storage.trace import AccessTrace, attach_trace
+from repro.storage.trace import AccessTrace
 
 
 class TestAccessTrace:
@@ -108,19 +106,18 @@ class TestSeekReconciliation:
         assert trace.summary().total_seeks == disk.stats.seeks - before
 
 
-class TestDeprecatedShim:
-    def test_attach_trace_warns_and_still_works(self, disk):
-        disk.place("a", 4)
-        with pytest.warns(DeprecationWarning, match="attach_trace"):
-            trace = attach_trace(disk)
-        disk.read("a", 0)
-        assert len(trace) == 1
-        assert isinstance(trace, AccessTrace)
+class TestShimRemoved:
+    def test_attach_trace_shim_is_gone(self):
+        import repro.storage as storage
+        import repro.storage.trace as trace_module
 
-    def test_attach_trace_does_not_monkeypatch_read(self, disk):
+        assert not hasattr(trace_module, "attach_trace")
+        assert not hasattr(storage, "attach_trace")
+        assert "attach_trace" not in trace_module.__all__
+
+    def test_subscriber_api_does_not_monkeypatch_read(self, disk):
         method_before = type(disk).read
-        with pytest.warns(DeprecationWarning):
-            attach_trace(disk)
+        AccessTrace.attach(disk)
         assert "read" not in vars(disk)  # no instance-level override
         assert type(disk).read is method_before
 
