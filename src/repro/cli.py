@@ -106,6 +106,14 @@ def _add_join(subcommands) -> None:
     cmd.add_argument("--trace-format", choices=["jsonl", "chrome"], default="jsonl",
                      help="trace file format: JSONL events or Chrome "
                           "trace-event JSON (open in Perfetto)")
+    cmd.add_argument("--workers", type=int, default=1,
+                     help="parallel workers for cluster execution; threads "
+                          "unless --shard-strategy is given")
+    cmd.add_argument("--shard-strategy", default=None,
+                     choices=["affinity", "chunk", "roundrobin"],
+                     help="partition clusters across worker *processes* over "
+                          "shared-memory page blocks (sc/rand-sc/cc methods); "
+                          "results and simulated I/O are identical to serial")
     cmd.add_argument("--seed", type=int, default=0)
     cmd.set_defaults(handler=_run_join)
 
@@ -146,6 +154,8 @@ def _run_join(args) -> int:
         seed=args.seed,
         count_only=args.pairs_out is None,
         recorder=recorder,
+        workers=args.workers,
+        shard_strategy=args.shard_strategy,
     )
     report = result.report
     print(f"{result.num_pairs} pairs within epsilon={args.epsilon}")

@@ -21,24 +21,43 @@ pairs (order included), comparisons, modeled CPU, page reads/reuse,
 buffer hits and Lemma audits; only kernel *invocation* counts differ
 (``repro.obs.recorder.BATCHING_VARIANT_COUNTERS``).
 
-With ``workers > 1`` the CPU half of step 2 is dispatched to a thread
-pool: clusters are independent units of work (each owns its buffer-
-resident pages), so their page-pair joins run concurrently while the
-main thread walks the schedule.  All buffer and disk traffic stays on
-the main thread in exactly the serial order — the simulated I/O counts
-(Lemma 1/2 accounting) are identical to a serial run by construction —
-and per-worker results are merged in schedule order, so the outcome
-(pairs list included) is deterministic and equal to the serial one.
-Threads, not processes: the joiners are numpy-bound (the batched kernels
-release the GIL inside BLAS/ufunc loops) and close over unpicklable
-dataset state.
+Parallelism comes in two flavours, both preserving bit-identical
+results and accounting:
+
+* **Threads** (``execute_clusters(..., workers=k)``): the CPU half of
+  step 2 is dispatched to a thread pool — clusters are independent
+  units of work (each owns its buffer-resident pages), so their
+  page-pair joins run concurrently while the main thread walks the
+  schedule.  All buffer and disk traffic stays on the main thread in
+  exactly the serial order — the simulated I/O counts (Lemma 1/2
+  accounting) are identical to a serial run by construction — and
+  per-worker results are merged in schedule order, so the outcome
+  (pairs list included) is deterministic and equal to the serial one.
+  The GIL serialises the Python-side scatter/merge, so threads are the
+  *compatibility fallback* (no picklable state needed, works with any
+  joiner); for actual multi-core speedup use the process-sharded path.
+* **Processes** (:func:`execute_clusters_sharded`): the scheduled
+  cluster list is partitioned into shard-local sets
+  (:func:`repro.core.planner.plan_shards`), the datasets' backing
+  arrays are published once through shared memory
+  (:mod:`repro.storage.shm`) and per-shard worker processes run the
+  mega-batch cascades against zero-copy views with their own
+  recorders.  The separation that makes this exact: joiners read
+  objects through the datasets' columnar page views — never through
+  the buffer pool — so the pool/disk *simulation* is pure accounting
+  and is replayed by the parent in full serial schedule order while
+  the workers compute.  Counters, audits and the merged pairs list are
+  therefore bit-identical to serial by the same argument as the thread
+  path; per-shard staging deltas are additionally attributed to
+  ``executor.shard.<k>.*`` counters whose sums equal the serial totals
+  exactly.  See ``docs/execution_modes.md`` for the decision table.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.clusters import Cluster
 from repro.obs.audit import LemmaAuditor
@@ -46,7 +65,12 @@ from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.buffer import BufferPool
 from repro.storage.page import PagedDataset
 
-__all__ = ["execute_clusters", "ExecutionOutcome", "PagePairJoin"]
+__all__ = [
+    "execute_clusters",
+    "execute_clusters_sharded",
+    "ExecutionOutcome",
+    "PagePairJoin",
+]
 
 # join(r_page, s_page, r_payload, s_payload) ->
 #   (pairs collected, total pair count, comparisons counted, cpu seconds)
@@ -99,9 +123,17 @@ def execute_clusters(
     (see the module docstring); joiners without cluster support silently
     run per pair.
 
-    ``workers > 1`` parallelises the joins across a thread pool (one
+    ``workers > 1`` parallelises the joins across a *thread* pool (one
     task per cluster) without changing any simulated I/O count or the
     result; see the module docstring for the determinism argument.
+    Threads are the compatibility fallback — they work with any joiner
+    and any platform but the GIL caps the speedup; for process-level
+    parallelism use :func:`execute_clusters_sharded` (or
+    ``join(..., shard_strategy=...)``), which validates its worker
+    count against the platform's start methods up front and raises a
+    clear error instead of hanging when ``workers > os.cpu_count()``
+    meets a fork-less platform (see
+    :func:`repro.core.sharding.resolve_start_method`).
 
     With a recording ``recorder``, each cluster is additionally audited
     against the paper's Lemma 1/2 read bounds: the disk-transfer delta
@@ -196,6 +228,182 @@ def execute_clusters(
         for future in futures:
             for result in future.result():
                 outcome.absorb(result)
+    _count_executor_totals(recorder, outcome, len(ordered_clusters), use_megabatch)
+    return outcome
+
+
+def execute_clusters_sharded(
+    ordered_clusters: Sequence[Cluster],
+    pool: BufferPool,
+    r_dataset: PagedDataset,
+    s_dataset: PagedDataset,
+    page_pair_join: PagePairJoin,
+    workers: int = 2,
+    recorder: Recorder = NULL_RECORDER,
+    batch_pairs: Optional[int] = None,
+    shard_strategy="affinity",
+) -> ExecutionOutcome:
+    """Process clusters with per-shard worker *processes*; same outcome.
+
+    The schedule is partitioned into at most ``workers`` shard-local
+    cluster sets (``shard_strategy``: a strategy name for
+    :func:`repro.core.planner.plan_shards`, or a ready
+    :class:`~repro.core.planner.ShardPlan` — property tests inject
+    arbitrary partitions this way).  Workers rebuild the datasets from
+    shared memory and run the join cascades; the parent replays **all**
+    simulated I/O (staging, buffer hits, Lemma audits) serially in
+    global schedule order while they compute, then merges per-cluster
+    results back in schedule order.  The outcome — pairs list included —
+    and every simulated counter are bit-identical to
+    ``execute_clusters(..., workers=1)``; per-shard staging deltas are
+    counted under ``executor.shard.<k>.pages_read`` / ``.pages_reused``
+    (their sums equal the serial totals by construction — see
+    ``repro.obs.recorder.SHARDING_VARIANT_COUNTER_PREFIXES``).
+
+    Falls back to the thread pool when shared memory is unavailable on
+    the platform (counter ``executor.shard.fallback_threads``).  Raises
+    ``ValueError`` for joiners without a picklable shard recipe (custom
+    callables — use threads for those) and ``RuntimeError`` when a
+    worker process dies or the start-method validation fails.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_pairs is not None and batch_pairs < 1:
+        raise ValueError(f"batch_pairs must be >= 1 or None, got {batch_pairs}")
+    from repro.core.sharding import (
+        build_shard_task,
+        resolve_start_method,
+        run_shard,
+        shardable_joiner,
+        share_datasets,
+    )
+    from repro.storage.shm import ShmArena, shm_available
+
+    if not shardable_joiner(page_pair_join):
+        raise ValueError(
+            f"joiner {type(page_pair_join).__name__} cannot be shipped to "
+            "shard processes; use the thread path (execute_clusters) instead"
+        )
+    if not shm_available():  # pragma: no cover - platform without shm
+        recorder.count("executor.shard.fallback_threads")
+        return execute_clusters(
+            ordered_clusters, pool, r_dataset, s_dataset, page_pair_join,
+            workers=workers, recorder=recorder, batch_pairs=batch_pairs,
+        )
+    # Lazy import: planner imports core.join, which imports this module.
+    from repro.core.planner import ShardPlan, plan_shards
+
+    if isinstance(shard_strategy, ShardPlan):
+        plan = shard_strategy
+        plan.validate(len(ordered_clusters))
+    else:
+        plan = plan_shards(
+            ordered_clusters, r_dataset, s_dataset, workers, shard_strategy
+        )
+
+    pool.attach(r_dataset)
+    pool.attach(s_dataset)
+    outcome = ExecutionOutcome()
+    r_id = r_dataset.dataset_id
+    s_id = s_dataset.dataset_id
+    use_megabatch = batch_pairs != 1 and getattr(
+        page_pair_join, "supports_megabatch", False
+    )
+    if not ordered_clusters:
+        _count_executor_totals(recorder, outcome, 0, use_megabatch)
+        return outcome
+
+    start_method = resolve_start_method(plan.num_shards)
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    shard_of = plan.shard_of()
+    shard_reads = [0] * plan.num_shards
+    shard_reused = [0] * plan.num_shards
+    auditor: Optional[LemmaAuditor] = (
+        LemmaAuditor(recorder) if recorder.enabled else None
+    )
+    disk_stats = pool.disk.stats
+    shard_payloads: List[Dict] = []
+    with ShmArena() as arena:
+        r_spec, s_spec = share_datasets(r_dataset, s_dataset, arena)
+        tasks = [
+            build_shard_task(
+                shard_index,
+                [(i, ordered_clusters[i].entries) for i in members],
+                r_spec,
+                s_spec,
+                page_pair_join,
+                arena,
+                batch_pairs,
+                recorder.enabled,
+            )
+            for shard_index, members in enumerate(plan.shards)
+        ]
+        ctx = mp.get_context(start_method)
+        with ProcessPoolExecutor(
+            max_workers=plan.num_shards, mp_context=ctx
+        ) as process_pool:
+            futures = [process_pool.submit(run_shard, task) for task in tasks]
+            # While the workers compute, the parent replays the complete
+            # simulated I/O of the serial run — staging, per-entry fetch
+            # replay, Lemma audits — in global schedule order.  This is
+            # the whole trick: joiners read data through columnar views,
+            # never the pool, so accounting and computation commute.
+            for index, cluster in enumerate(ordered_clusters):
+                transfers_before = disk_stats.transfers
+                reads_before = outcome.pages_read
+                reused_before = outcome.pages_reused
+                with recorder.span("execute.cluster"):
+                    if use_megabatch:
+                        _stage_cluster_pinned(cluster, pool, r_id, s_id, outcome)
+                    else:
+                        _stage_cluster_pages(cluster, pool, r_id, s_id, outcome)
+                        for row, col in cluster.entries:
+                            pool.fetch(r_id, row)
+                            pool.fetch(s_id, col)
+                if auditor is not None:
+                    auditor.check_cluster(
+                        cluster, disk_stats.transfers - transfers_before, index
+                    )
+                shard = shard_of[index]
+                shard_reads[shard] += outcome.pages_read - reads_before
+                shard_reused[shard] += outcome.pages_reused - reused_before
+            for shard_index, future in enumerate(futures):
+                try:
+                    shard_payloads.append(future.result())
+                except BrokenProcessPool as exc:
+                    raise RuntimeError(
+                        f"shard worker {shard_index} died before returning "
+                        "results (its process exited abnormally); shared "
+                        "memory has been reclaimed by the parent"
+                    ) from exc
+
+    # Deterministic merge: worker recorders fold in shard order, results
+    # absorb in global schedule order — the serial pairs list exactly.
+    results_by_index: Dict[int, List] = {}
+    for payload in shard_payloads:
+        shard_index = payload["shard_index"]
+        if recorder.enabled and payload["metrics"] is not None:
+            recorder.merge(payload["metrics"], span_attrs={"shard": shard_index})
+        results_by_index.update(payload["results"])
+    for index in range(len(ordered_clusters)):
+        for result in results_by_index[index]:
+            outcome.absorb(result)
+
+    recorder.count("executor.shards", plan.num_shards)
+    recorder.count("executor.shard.duplicated_pages", plan.duplicated_pages)
+    for shard_index in range(plan.num_shards):
+        recorder.count(
+            f"executor.shard.{shard_index}.clusters", len(plan.shards[shard_index])
+        )
+        recorder.count(
+            f"executor.shard.{shard_index}.pages_read", shard_reads[shard_index]
+        )
+        recorder.count(
+            f"executor.shard.{shard_index}.pages_reused", shard_reused[shard_index]
+        )
     _count_executor_totals(recorder, outcome, len(ordered_clusters), use_megabatch)
     return outcome
 

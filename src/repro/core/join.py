@@ -48,7 +48,11 @@ import numpy as np
 
 from repro.core.clusters import Cluster
 from repro.core.costcluster import LinearDiskModelCost, cost_clustering
-from repro.core.executor import ExecutionOutcome, execute_clusters
+from repro.core.executor import (
+    ExecutionOutcome,
+    execute_clusters,
+    execute_clusters_sharded,
+)
 from repro.core.joiners import make_numeric_joiner, make_text_joiner, text_dp_weight
 from repro.core.pm_nlj import pm_nlj_join
 from repro.core.prediction import PredictionMatrix
@@ -286,6 +290,7 @@ def join(
     matrix_cache: "str | Path | None" = None,
     recorder: Optional[Recorder] = None,
     batch_pairs: Optional[int] = None,
+    shard_strategy=None,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -310,10 +315,26 @@ def join(
         Buffer replacement policy; the paper (and the default) is LRU.
         ``"fifo"`` and ``"mru"`` exist for the replacement-policy ablation.
     workers:
-        Thread-pool width for cluster execution (``sc``/``rand-sc``/``cc``
+        Parallelism width for cluster execution (``sc``/``rand-sc``/``cc``
         only; other methods ignore it).  Clusters are independent units
         of work, so their page-pair joins run concurrently; simulated
-        I/O counts and the result are identical to ``workers=1``.
+        I/O counts and the result are identical to ``workers=1``.  With
+        ``shard_strategy=None`` (default) this is a *thread* pool — the
+        compatibility fallback; combine with ``shard_strategy`` for
+        process-level parallelism.
+    shard_strategy:
+        ``None`` (default) keeps the thread path.  A strategy name
+        (``"affinity"``, ``"chunk"``, ``"roundrobin"``) or a prepared
+        :class:`~repro.core.planner.ShardPlan` switches cluster
+        execution to the process-sharded executor
+        (:func:`repro.core.executor.execute_clusters_sharded`): the
+        schedule is partitioned into ``workers`` shard-local sets,
+        worker processes join them against shared-memory dataset views,
+        and the parent replays the full simulated I/O serially — the
+        result pair list, every simulated counter, and the Lemma audits
+        are bit-identical to the serial path.  Only ``sc``/``rand-sc``/
+        ``cc`` shard; other methods ignore it.  See
+        ``docs/execution_modes.md``.
     matrix_cache:
         Directory of the prediction-matrix cache.  When set, the matrix
         is loaded from the cache if a build keyed by (both datasets'
@@ -399,10 +420,17 @@ def join(
         stage_seconds["scheduling"] = schedule_span.duration
         preprocess_seconds = model.cpu_cost(cluster_ops + ordering_ops)
         with rec.span("join.execution") as exec_span:
-            outcome = execute_clusters(
-                ordered, pool, r.paged, s.paged, joiner, workers=workers,
-                recorder=rec, batch_pairs=batch_pairs,
-            )
+            if shard_strategy is not None:
+                outcome = execute_clusters_sharded(
+                    ordered, pool, r.paged, s.paged, joiner, workers=workers,
+                    recorder=rec, batch_pairs=batch_pairs,
+                    shard_strategy=shard_strategy,
+                )
+            else:
+                outcome = execute_clusters(
+                    ordered, pool, r.paged, s.paged, joiner, workers=workers,
+                    recorder=rec, batch_pairs=batch_pairs,
+                )
         stage_seconds["execution"] = exec_span.duration
         clusters = ordered
 

@@ -26,7 +26,12 @@ import numpy as np
 from repro.core.clusters import Cluster
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
-__all__ = ["sharing_graph", "greedy_cluster_order", "schedule_savings"]
+__all__ = [
+    "sharing_graph",
+    "greedy_cluster_order",
+    "schedule_savings",
+    "cluster_page_codes",
+]
 
 Edge = Tuple[int, int]
 
@@ -91,20 +96,26 @@ def schedule_savings(
     )
 
 
-# -- internals -----------------------------------------------------------------
-
-
-def _page_codes(cluster: Cluster, self_join: bool) -> np.ndarray:
+def cluster_page_codes(cluster: Cluster, self_join: bool) -> np.ndarray:
     """The cluster's pages as integer codes in a single shared space.
 
     For a self join row and column pages live in one physical space, so a
     page marked both ways is deduplicated; otherwise rows map to even and
-    columns to odd codes, which never collide.
+    columns to odd codes, which never collide.  This is the page universe
+    the sharing graph counts overlaps in; the shard planner reuses it as
+    the affinity/duplication signal.
     """
     rows, cols = cluster.page_arrays()
     if self_join:
         return np.union1d(rows, cols)
     return np.concatenate((rows * 2, cols * 2 + 1))
+
+
+# -- internals -----------------------------------------------------------------
+
+
+# Backwards-compatible internal alias (pre-existing callers).
+_page_codes = cluster_page_codes
 
 
 def _sharing_edges(

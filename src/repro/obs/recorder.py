@@ -44,6 +44,7 @@ __all__ = [
     "JsonlRecorder",
     "NULL_RECORDER",
     "BATCHING_VARIANT_COUNTERS",
+    "SHARDING_VARIANT_COUNTER_PREFIXES",
 ]
 
 # Counters that measure *how* work was batched rather than *what* work
@@ -62,6 +63,15 @@ BATCHING_VARIANT_COUNTERS = frozenset(
         "executor.megabatch_clusters",
     }
 )
+
+# Counter-name prefixes that exist only under process-sharded execution
+# (per-shard I/O attribution and shard bookkeeping — see
+# ``repro.core.executor.execute_clusters_sharded``).  Like
+# :data:`BATCHING_VARIANT_COUNTERS` they describe *how* the work was
+# dispatched, never *what* was computed: equivalence checks between the
+# serial and sharded paths must drop counters with these prefixes (and
+# the batching set) and require everything else to match exactly.
+SHARDING_VARIANT_COUNTER_PREFIXES = ("executor.shard",)
 
 
 class Span:
@@ -152,6 +162,37 @@ class Histogram:
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Histogram":
+        hist = cls()
+        hist.count = int(payload["count"])
+        hist.total = float(payload["total"])
+        hist.min = payload["min"]
+        hist.max = payload["max"]
+        hist.buckets = {int(k): int(v) for k, v in payload["buckets"].items()}
+        return hist
+
+    def merge(self, other: "Histogram | Dict[str, Any]") -> None:
+        """Fold another histogram's state into this one.
+
+        Accepts a :class:`Histogram` or its :meth:`to_dict` form.  Bucket
+        counts *add* (never overwrite), so merging N disjoint shard
+        histograms equals observing their values through one histogram —
+        no double counting, no dropped buckets.
+        """
+        if isinstance(other, dict):
+            other = Histogram.from_dict(other)
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+
 
 class Recorder:
     """Base recorder: the protocol, with every operation a no-op.
@@ -178,6 +219,16 @@ class Recorder:
     def counter(self, name: str) -> int:
         """Current value of a counter (0 when unknown or not recording)."""
         return 0
+
+    def merge(self, other, span_attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Fold another recorder's retained state into this one.
+
+        ``other`` is a recorder or an :meth:`InMemoryRecorder.export_state`
+        dict (the picklable form shard worker processes ship back).  The
+        base recorder retains nothing, so this is a no-op; recording
+        implementations add counters, merge histogram buckets and re-home
+        spans/events (see :meth:`InMemoryRecorder.merge`).
+        """
 
     def close(self) -> None:
         pass
@@ -273,6 +324,92 @@ class InMemoryRecorder(Recorder):
                 "counters": dict(self.counters),
                 "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
             }
+
+    def export_state(self) -> Dict[str, Any]:
+        """Everything retained, as one picklable dict for cross-process merge.
+
+        Span and event times stay on this recorder's ``perf_counter``
+        axis; ``origin`` travels along so the receiving recorder can
+        re-express them on its own axis (``perf_counter`` is
+        CLOCK_MONOTONIC, shared by every process of the machine, so the
+        rebasing is exact).
+        """
+        with self._lock:
+            spans = [
+                {
+                    "name": span.name,
+                    "attrs": dict(span.attrs),
+                    "start": span.start,
+                    "end": span.end,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "thread_id": span.thread_id,
+                }
+                for span in self.spans
+            ]
+            return {
+                "origin": self.origin,
+                "counters": dict(self.counters),
+                "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+                "events": [dict(e) for e in self.events],
+                "spans": spans,
+            }
+
+    def merge(self, other, span_attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Fold a shard recorder's exported state into this recorder.
+
+        ``other`` is an :class:`InMemoryRecorder` or its
+        :meth:`export_state` dict.  Counters add; histograms merge bucket
+        by bucket (:meth:`Histogram.merge` — each observation is counted
+        exactly once); events rebase their timestamps onto this
+        recorder's origin; spans are re-created with fresh ids (parent
+        links remapped within the merged batch) and, when ``span_attrs``
+        is given, those attributes added — the sharded executor tags each
+        worker's spans with its shard index this way.
+        """
+        if isinstance(other, InMemoryRecorder):
+            other = other.export_state()
+        if other is None:
+            return
+        origin_delta = other["origin"] - self.origin
+        merged_events: List[Dict[str, Any]] = []
+        merged_spans: List[Span] = []
+        with self._lock:
+            for name, value in other["counters"].items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, payload in other["histograms"].items():
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram()
+                hist.merge(payload)
+            for record in other["events"]:
+                rebased = dict(record)
+                rebased["ts"] = record["ts"] + origin_delta
+                self.events.append(rebased)
+                merged_events.append(rebased)
+            id_map: Dict[int, int] = {}
+            for row in other["spans"]:
+                if row["span_id"] is not None:
+                    id_map[row["span_id"]] = self._next_span_id
+                    self._next_span_id += 1
+            for row in other["spans"]:
+                attrs = dict(row["attrs"])
+                if span_attrs:
+                    attrs.update(span_attrs)
+                span = Span(row["name"], attrs or None, recorder=None)
+                span.start = row["start"]
+                span.end = row["end"]
+                span.span_id = id_map.get(row["span_id"])
+                span.parent_id = id_map.get(row["parent_id"])
+                span.thread_id = row["thread_id"]
+                self.spans.append(span)
+                merged_spans.append(span)
+        # Stream through the subclass hooks outside the lock, so e.g.
+        # JsonlRecorder traces carry the merged shard spans too.
+        for record in merged_events:
+            self._on_event(record)
+        for span in merged_spans:
+            self._on_span(span)
 
     # -- subclass hooks ------------------------------------------------------
 

@@ -7,6 +7,12 @@ also offers :meth:`load_batch`, which reads a page set in optimal
 (block-sorted) order while skipping already-buffered pages — the primitive
 the cluster executor uses to realise cache reuse between consecutive
 clusters (Section 8).
+
+The pool is single-process state.  Sharded execution
+(:func:`repro.core.executor.execute_clusters_sharded`) keeps **all**
+pool traffic in the parent: worker processes read page payloads straight
+from shared memory and never touch a BufferPool, so hit/miss accounting
+stays a single serial replay and matches the serial executor exactly.
 """
 
 from __future__ import annotations

@@ -24,7 +24,14 @@ from typing import Hashable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-__all__ = ["PagedDataset", "PageBlock", "VectorPagedDataset", "SequencePagedDataset"]
+__all__ = [
+    "PagedDataset",
+    "PageBlock",
+    "VectorPagedDataset",
+    "SequencePagedDataset",
+    "dataset_shm_spec",
+    "dataset_from_shm_spec",
+]
 
 _dataset_counter = itertools.count()
 
@@ -266,6 +273,11 @@ class VectorPagedDataset:
         """The full underlying array (read-only by convention)."""
         return self._data
 
+    @property
+    def page_offsets(self) -> np.ndarray:
+        """The page boundary array (length ``num_pages + 1``)."""
+        return self._offsets
+
 
 class SequencePagedDataset:
     """Paging of one long sequence into fixed symbol blocks with overlap.
@@ -417,3 +429,68 @@ class SequencePagedDataset:
             counts=counts,
             global_starts=lo[pages],
         )
+
+
+# -- shared-memory reconstruction ----------------------------------------------
+
+
+def dataset_shm_spec(dataset: PagedDataset, share) -> dict:
+    """A picklable recipe to rebuild ``dataset`` in another process.
+
+    ``share(array) -> handle`` publishes one backing array (the sharded
+    executor passes :meth:`repro.storage.shm.ShmArena.share`); the
+    returned dict carries the handles plus the paging parameters.  The
+    rebuilt dataset (:func:`dataset_from_shm_spec`) has the identical
+    page layout, object ids and ``dataset_id`` — its page views are
+    zero-copy windows over the shared segments (text sequences pay one
+    decode, their windows are re-derived from the shared bytes).
+    """
+    if isinstance(dataset, VectorPagedDataset):
+        return {
+            "flavour": "vector",
+            "data": share(dataset.vectors),
+            "page_offsets": np.asarray(dataset.page_offsets),
+            "dataset_id": dataset.dataset_id,
+        }
+    if isinstance(dataset, SequencePagedDataset):
+        spec = {
+            "flavour": "text" if dataset.is_text else "series",
+            "symbols_per_page": dataset.symbols_per_page,
+            "window_length": dataset.window_length,
+            "dataset_id": dataset.dataset_id,
+        }
+        if dataset.is_text:
+            encoded = np.frombuffer(
+                dataset.sequence.encode("latin-1"), dtype=np.uint8
+            )
+            spec["sequence"] = share(encoded)
+        else:
+            spec["sequence"] = share(np.asarray(dataset.sequence))
+        return spec
+    raise TypeError(
+        f"cannot build a shared-memory spec for {type(dataset).__name__}; "
+        "only the built-in paged dataset flavours are supported"
+    )
+
+
+def dataset_from_shm_spec(spec: dict, attach):
+    """Rebuild a paged dataset from a :func:`dataset_shm_spec` recipe.
+
+    ``attach(handle) -> array`` maps one shared array (the worker passes
+    :meth:`repro.storage.shm.ShmAttachments.attach`).
+    """
+    if spec["flavour"] == "vector":
+        return VectorPagedDataset(
+            attach(spec["data"]),
+            page_offsets=spec["page_offsets"],
+            dataset_id=spec["dataset_id"],
+        )
+    sequence = attach(spec["sequence"])
+    if spec["flavour"] == "text":
+        sequence = sequence.tobytes().decode("latin-1")
+    return SequencePagedDataset(
+        sequence,
+        symbols_per_page=spec["symbols_per_page"],
+        window_length=spec["window_length"],
+        dataset_id=spec["dataset_id"],
+    )

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import zipfile
 from pathlib import Path
 from typing import Optional, Tuple
 
@@ -47,6 +49,10 @@ _ARRAY_FILE = "arrays.npz"
 _TEXT_FILE = "sequence.txt"
 _MATRIX_FORMAT_VERSION = 1
 _MATRIX_PREFIX = "pm_"
+# Temp-file suffix for atomic matrix writes.  Must end in ".npz" —
+# np.savez_compressed appends the extension to any other name, which
+# would leave the os.replace source path dangling.
+_MATRIX_TMP_SUFFIX = ".tmp.npz"
 
 
 def save_dataset(dataset, directory: "str | Path") -> Path:
@@ -206,6 +212,14 @@ def save_matrix(matrix, directory: "str | Path", key: str) -> Path:
     """Persist a built prediction matrix under ``directory`` keyed by ``key``.
 
     Stores the sparse COO entry arrays; returns the written path.
+
+    The write is atomic: the archive goes to a per-process temporary
+    name in the same directory and is ``os.replace``d onto the final
+    path, so concurrent writers (parallel pytest workers, simultaneous
+    figure runs sharing one cache directory) can race on the same key
+    without a reader ever seeing a half-written ``.npz``.  Keys are
+    content-derived, so whichever writer lands last replaces the file
+    with identical bytes.
     """
     from repro.core.prediction import PredictionMatrix  # local: avoid cycle
 
@@ -215,13 +229,19 @@ def save_matrix(matrix, directory: "str | Path", key: str) -> Path:
     path.mkdir(parents=True, exist_ok=True)
     rows, cols = matrix.to_coo()
     target = path / f"{_MATRIX_PREFIX}{key}.npz"
-    np.savez_compressed(
-        target,
-        version=np.int64(_MATRIX_FORMAT_VERSION),
-        shape=np.asarray([matrix.num_rows, matrix.num_cols], dtype=np.int64),
-        rows=rows,
-        cols=cols,
-    )
+    # Suffix must stay ".npz" or np.savez_compressed appends another one.
+    tmp = path / f"{_MATRIX_PREFIX}{key}.{os.getpid()}{_MATRIX_TMP_SUFFIX}"
+    try:
+        np.savez_compressed(
+            tmp,
+            version=np.int64(_MATRIX_FORMAT_VERSION),
+            shape=np.asarray([matrix.num_rows, matrix.num_cols], dtype=np.int64),
+            rows=rows,
+            cols=cols,
+        )
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
     return target
 
 
@@ -231,19 +251,27 @@ def load_matrix(directory: "str | Path", key: str):
     A hit returns the matrix exactly as ``build_prediction_matrix``
     produced it (before any self-join triangle reduction, which ``join``
     applies after loading).
+
+    A corrupt or truncated entry — e.g. left by a writer killed before
+    atomic-rename semantics were in place, or by disk trouble — is
+    treated as a miss rather than an error: the caller rebuilds and the
+    next :func:`save_matrix` replaces the bad file.
     """
     from repro.core.prediction import PredictionMatrix  # local: avoid cycle
 
     target = Path(directory) / f"{_MATRIX_PREFIX}{key}.npz"
     if not target.exists():
         return None
-    with np.load(target) as payload:
-        if int(payload["version"]) != _MATRIX_FORMAT_VERSION:
-            return None
-        num_rows, num_cols = (int(v) for v in payload["shape"])
-        return PredictionMatrix.from_coo(
-            num_rows, num_cols, payload["rows"], payload["cols"]
-        )
+    try:
+        with np.load(target) as payload:
+            if int(payload["version"]) != _MATRIX_FORMAT_VERSION:
+                return None
+            num_rows, num_cols = (int(v) for v in payload["shape"])
+            return PredictionMatrix.from_coo(
+                num_rows, num_cols, payload["rows"], payload["cols"]
+            )
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError):
+        return None
 
 
 def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) -> int:
@@ -259,13 +287,14 @@ def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) 
         return 0
     if key is not None:
         target = path / f"{_MATRIX_PREFIX}{key}.npz"
-        if target.exists():
-            target.unlink()
-            return 1
-        return 0
+        if not target.exists():
+            return 0
+        # missing_ok: another process may unlink between exists and here.
+        target.unlink(missing_ok=True)
+        return 1
     removed = 0
     for entry in path.glob(f"{_MATRIX_PREFIX}*.npz"):
-        entry.unlink()
+        entry.unlink(missing_ok=True)
         removed += 1
     return removed
 

@@ -80,6 +80,93 @@ class TestSaveLoad:
         assert invalidate_matrix_cache(tmp_path) == 0
 
 
+class TestAtomicity:
+    """Concurrent cache users (parallel pytest workers, simultaneous
+    figure runs) share one directory; writes must be atomic and corrupt
+    entries must degrade to misses, never errors."""
+
+    def _matrix(self, datasets):
+        r, s = datasets
+        matrix, _ = build_prediction_matrix(
+            r.index.root, s.index.root, 0.1, r.num_pages, s.num_pages
+        )
+        return matrix
+
+    def test_no_lingering_tmp_files(self, tmp_path, datasets):
+        matrix = self._matrix(datasets)
+        save_matrix(matrix, tmp_path, "k1")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "pm_k1.npz"]
+        assert leftovers == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, datasets):
+        matrix = self._matrix(datasets)
+        target = save_matrix(matrix, tmp_path, "k1")
+        # Truncate to simulate a writer killed mid-write (pre-atomic-rename
+        # leftovers) or disk trouble.
+        target.write_bytes(target.read_bytes()[:20])
+        assert load_matrix(tmp_path, "k1") is None
+        # Garbage that is not even a zip header.
+        target.write_bytes(b"not a zip archive")
+        assert load_matrix(tmp_path, "k1") is None
+        # A rebuild replaces the bad entry.
+        save_matrix(matrix, tmp_path, "k1")
+        assert load_matrix(tmp_path, "k1") == matrix
+
+    def test_corrupt_entry_join_rebuilds_as_miss(self, tmp_path, datasets):
+        r, s = datasets
+        cold = join(r, s, 0.1, method="sc", buffer_pages=16, matrix_cache=tmp_path)
+        (entry,) = tmp_path.glob("pm_*.npz")
+        entry.write_bytes(b"\x00" * 64)
+        rebuilt = join(r, s, 0.1, method="sc", buffer_pages=16, matrix_cache=tmp_path)
+        assert rebuilt.report.extra["matrix_cache"] == "miss"
+        assert sorted(rebuilt.pairs) == sorted(cold.pairs)
+
+    def test_concurrent_writers_same_key(self, tmp_path, datasets):
+        """Racing writers on one key never expose a partial file."""
+        import multiprocessing
+
+        matrix = self._matrix(datasets)
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        procs = [
+            ctx.Process(target=_save_worker, args=(matrix, str(tmp_path), "shared"))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        restored = load_matrix(tmp_path, "shared")
+        assert restored == matrix
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.name != "pm_shared.npz"
+        ]
+        assert leftovers == []
+
+    def test_invalidate_tolerates_concurrent_unlink(self, tmp_path, datasets):
+        matrix = self._matrix(datasets)
+        target = save_matrix(matrix, tmp_path, "k1")
+        # Simulate another worker unlinking between glob/exists and unlink.
+        real_unlink = type(target).unlink
+
+        def racing_unlink(self, missing_ok=False):
+            real_unlink(self, missing_ok=True)  # the "other worker" wins
+            return real_unlink(self, missing_ok=missing_ok)
+
+        import unittest.mock as mock
+
+        with mock.patch.object(type(target), "unlink", racing_unlink):
+            assert invalidate_matrix_cache(tmp_path, "k1") == 1
+        assert load_matrix(tmp_path, "k1") is None
+
+
+def _save_worker(matrix, directory, key):
+    for _ in range(5):
+        save_matrix(matrix, directory, key)
+
+
 class TestJoinWithCache:
     def test_second_join_runs_zero_sweep_operations(
         self, tmp_path, datasets, monkeypatch

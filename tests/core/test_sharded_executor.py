@@ -1,0 +1,319 @@
+"""Sharded process execution: bit-identical to serial, counters included.
+
+The tentpole contract (ISSUE 6): ``join(..., shard_strategy=...)`` runs
+worker *processes* over shared-memory page blocks, yet the merged pairs
+list, every report counter, and every simulated-I/O recorder counter
+match the serial run exactly.  Shard-attributed counters
+(``executor.shard.*``) are the only additions, and their per-shard sums
+equal the serial totals.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import Cluster
+from repro.core.executor import execute_clusters_sharded
+from repro.core.join import IndexedDataset, join
+from repro.core.planner import SHARD_STRATEGIES, ShardPlan
+from repro.core.sharding import resolve_start_method
+from repro.obs import (
+    BATCHING_VARIANT_COUNTERS,
+    SHARDING_VARIANT_COUNTER_PREFIXES,
+    InMemoryRecorder,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.shm import shm_available
+from repro.storage.page import VectorPagedDataset
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform without usable shared memory"
+)
+
+
+def _report_counters(result):
+    rep = result.report
+    return (
+        rep.page_reads,
+        rep.seeks,
+        rep.buffer_hits,
+        rep.io_seconds,
+        rep.cpu_seconds,
+        rep.comparisons,
+        rep.result_pairs,
+    )
+
+
+def _stable_counters(recorder):
+    """Recorder counters minus the documented per-variant extras."""
+    return {
+        name: value
+        for name, value in recorder.metrics_snapshot()["counters"].items()
+        if name not in BATCHING_VARIANT_COUNTERS
+        and not name.startswith(SHARDING_VARIANT_COUNTER_PREFIXES)
+    }
+
+
+@pytest.fixture
+def spatial():
+    rng = np.random.default_rng(12345)
+    r = IndexedDataset.from_points(
+        rng.random((400, 2)), page_capacity=16, dataset_id="PR"
+    )
+    s = IndexedDataset.from_points(
+        rng.random((300, 2)), page_capacity=16, dataset_id="PS"
+    )
+    return r, s
+
+
+class TestJoinSharded:
+    @pytest.mark.parametrize("method", ["sc", "cc", "rand-sc"])
+    def test_spatial_cross_join(self, spatial, method):
+        r, s = spatial
+        serial = join(r, s, 0.05, method=method, buffer_pages=10, workers=1)
+        sharded = join(
+            r, s, 0.05, method=method, buffer_pages=10,
+            workers=2, shard_strategy="affinity",
+        )
+        assert sharded.pairs == serial.pairs  # list order included
+        assert _report_counters(sharded) == _report_counters(serial)
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_text_self_join_all_strategies(self, strategy):
+        rng = np.random.default_rng(7)
+        text = "".join(rng.choice(list("ACGT"), size=1500))
+        ds = IndexedDataset.from_string(
+            text, window_length=12, windows_per_page=64, dataset_id="G"
+        )
+        serial = join(ds, ds, 2, method="sc", buffer_pages=8, workers=1)
+        sharded = join(
+            ds, ds, 2, method="sc", buffer_pages=8,
+            workers=2, shard_strategy=strategy,
+        )
+        assert sharded.pairs == serial.pairs
+        assert _report_counters(sharded) == _report_counters(serial)
+
+    def test_dtw_self_join(self, rng):
+        seq = rng.normal(size=600).cumsum()
+        ds = IndexedDataset.from_time_series(
+            seq, window_length=12, windows_per_page=32, dtw_band=2, dataset_id="W"
+        )
+        serial = join(ds, ds, 0.5, method="sc", buffer_pages=10, workers=1)
+        sharded = join(
+            ds, ds, 0.5, method="sc", buffer_pages=10,
+            workers=3, shard_strategy="roundrobin",
+        )
+        assert sharded.pairs == serial.pairs
+        assert _report_counters(sharded) == _report_counters(serial)
+
+    def test_per_pair_path(self, spatial):
+        """batch_pairs=1 exercises the non-megabatch worker branch."""
+        r, s = spatial
+        serial = join(r, s, 0.05, method="cc", buffer_pages=10, batch_pairs=1)
+        sharded = join(
+            r, s, 0.05, method="cc", buffer_pages=10, batch_pairs=1,
+            workers=2, shard_strategy="affinity",
+        )
+        assert sharded.pairs == serial.pairs
+        assert _report_counters(sharded) == _report_counters(serial)
+
+    def test_count_only(self, spatial):
+        r, s = spatial
+        serial = join(r, s, 0.05, method="sc", buffer_pages=10, count_only=True)
+        sharded = join(
+            r, s, 0.05, method="sc", buffer_pages=10, count_only=True,
+            workers=4, shard_strategy="affinity",
+        )
+        assert sharded.pairs == [] == serial.pairs
+        assert sharded.num_pairs == serial.num_pairs
+        assert _report_counters(sharded) == _report_counters(serial)
+
+    def test_workers_four(self, spatial):
+        r, s = spatial
+        serial = join(r, s, 0.05, method="sc", buffer_pages=10)
+        sharded = join(
+            r, s, 0.05, method="sc", buffer_pages=10,
+            workers=4, shard_strategy="affinity",
+        )
+        assert sharded.pairs == serial.pairs
+        assert _report_counters(sharded) == _report_counters(serial)
+
+
+class TestShardedTelemetry:
+    def test_recorder_counters_match_serial(self, spatial):
+        r, s = spatial
+        serial_rec, sharded_rec = InMemoryRecorder(), InMemoryRecorder()
+        serial = join(
+            r, s, 0.05, method="sc", buffer_pages=10, recorder=serial_rec
+        )
+        sharded = join(
+            r, s, 0.05, method="sc", buffer_pages=10, recorder=sharded_rec,
+            workers=2, shard_strategy="affinity",
+        )
+        assert sharded.pairs == serial.pairs
+        assert _stable_counters(sharded_rec) == _stable_counters(serial_rec)
+
+    def test_per_shard_io_sums_to_totals(self, spatial):
+        r, s = spatial
+        rec = InMemoryRecorder()
+        join(
+            r, s, 0.05, method="sc", buffer_pages=10, recorder=rec,
+            workers=2, shard_strategy="affinity",
+        )
+        counters = rec.metrics_snapshot()["counters"]
+        shards = counters["executor.shards"]
+        assert shards >= 1
+        for metric in ("pages_read", "pages_reused", "clusters"):
+            total = counters[f"executor.{metric}"]
+            split = sum(
+                counters[f"executor.shard.{k}.{metric}"] for k in range(shards)
+            )
+            assert split == total, metric
+
+    def test_worker_spans_merged_with_shard_attr(self, spatial):
+        r, s = spatial
+        rec = InMemoryRecorder()
+        join(
+            r, s, 0.05, method="sc", buffer_pages=10, recorder=rec,
+            workers=2, shard_strategy="affinity",
+        )
+        shard_spans = [sp for sp in rec.spans if "shard" in sp.attrs]
+        assert shard_spans, "worker spans must fold into the parent recorder"
+        assert {sp.attrs["shard"] for sp in shard_spans} <= {0, 1}
+        ids = [sp.span_id for sp in rec.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_lemma_audits_stay_clean(self, spatial):
+        r, s = spatial
+        rec = InMemoryRecorder()
+        join(
+            r, s, 0.05, method="sc", buffer_pages=10, recorder=rec,
+            workers=2, shard_strategy="affinity",
+        )
+        counters = rec.metrics_snapshot()["counters"]
+        violations = [
+            name for name in counters if "lemma" in name and "violation" in name
+        ]
+        assert all(counters[name] == 0 for name in violations)
+
+
+class TestRandomPartitionsProperty:
+    def test_any_partition_reproduces_serial(self, spatial):
+        """Property: EVERY partition of the schedule merges to the serial
+        pairs list — correctness cannot depend on the planner's choices."""
+        r, s = spatial
+        serial = join(r, s, 0.05, method="sc", buffer_pages=10)
+        # Recover the schedule length from a planned run's shard counters.
+        probe = InMemoryRecorder()
+        join(
+            r, s, 0.05, method="sc", buffer_pages=10, recorder=probe,
+            workers=2, shard_strategy="chunk",
+        )
+        counters = probe.metrics_snapshot()["counters"]
+        num_clusters = counters["executor.clusters"]
+        rng = np.random.default_rng(99)
+        for trial in range(3):
+            assignment = rng.integers(0, 3, size=num_clusters)
+            members = tuple(
+                tuple(int(i) for i in np.flatnonzero(assignment == shard))
+                for shard in range(3)
+                if np.any(assignment == shard)
+            )
+            plan = ShardPlan(
+                strategy="random",
+                shards=members,
+                costs=tuple(0 for _ in members),
+                duplicated_pages=0,
+            )
+            sharded = join(
+                r, s, 0.05, method="sc", buffer_pages=10,
+                workers=len(members), shard_strategy=plan,
+            )
+            assert sharded.pairs == serial.pairs, f"trial {trial}"
+            assert _report_counters(sharded) == _report_counters(serial)
+
+
+class TestFailureModes:
+    def test_plain_callable_joiner_rejected(self, cost_model):
+        from repro.storage.disk import SimulatedDisk
+
+        r = VectorPagedDataset(
+            np.arange(16, dtype=float).reshape(8, 2),
+            objects_per_page=2, dataset_id="R",
+        )
+        s = VectorPagedDataset(
+            np.arange(12, dtype=float).reshape(6, 2),
+            objects_per_page=2, dataset_id="S",
+        )
+
+        def plain_joiner(row, col, r_payload, s_payload):
+            return [(row, col)], 1, 1, 0.0
+
+        pool = BufferPool(SimulatedDisk(cost_model), 8)
+        with pytest.raises(ValueError, match="cannot be shipped"):
+            execute_clusters_sharded(
+                [Cluster(0, ((0, 0),))], pool, r, s, plain_joiner, workers=2
+            )
+
+    def test_rejects_bad_worker_count(self, spatial):
+        r, s = spatial
+        with pytest.raises(ValueError):
+            join(r, s, 0.05, buffer_pages=10, workers=0, shard_strategy="chunk")
+
+    def test_spawn_oversubscription_is_a_clear_error(self, monkeypatch):
+        import multiprocessing as mp
+
+        monkeypatch.setattr(mp, "get_all_start_methods", lambda: ["spawn"])
+        cpus = os.cpu_count() or 1
+        with pytest.raises(RuntimeError, match="exceeds os.cpu_count"):
+            resolve_start_method(cpus + 1)
+        # Within the CPU budget spawn is accepted.
+        assert resolve_start_method(1) == "spawn"
+
+    def test_fork_preferred_when_available(self):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("platform without fork")
+        assert resolve_start_method(10_000) == "fork"
+
+    def test_crashed_worker_raises_and_leaks_nothing(
+        self, spatial, monkeypatch
+    ):
+        """A worker dying mid-shard surfaces as RuntimeError and every
+        shared segment is still reclaimed by the parent."""
+        from pathlib import Path
+
+        shm_dir = Path("/dev/shm")
+        before = set(shm_dir.iterdir()) if shm_dir.is_dir() else set()
+        monkeypatch.setenv("_REPRO_SHARD_FAULT", "exit")
+        r, s = spatial
+        with pytest.raises(RuntimeError, match="shard worker"):
+            join(
+                r, s, 0.05, method="sc", buffer_pages=10,
+                workers=2, shard_strategy="affinity",
+            )
+        if shm_dir.is_dir():
+            leaked = {
+                p for p in set(shm_dir.iterdir()) - before
+                if p.name.startswith("psm_")
+            }
+            assert leaked == set()
+
+    def test_empty_schedule(self, cost_model):
+        from repro.core.joiners import NumericPagePairJoiner
+        from repro.distance.vector import MinkowskiDistance
+        from repro.storage.disk import SimulatedDisk
+
+        r = VectorPagedDataset(
+            np.arange(16, dtype=float).reshape(8, 2),
+            objects_per_page=2, dataset_id="R",
+        )
+        joiner = NumericPagePairJoiner(
+            r, r, MinkowskiDistance(2), 0.1, cost_model, True
+        )
+        pool = BufferPool(SimulatedDisk(cost_model), 8)
+        outcome = execute_clusters_sharded([], pool, r, r, joiner, workers=2)
+        assert outcome.pairs == []
+        assert outcome.pages_read == 0

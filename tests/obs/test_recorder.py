@@ -147,6 +147,140 @@ class TestHistogram:
         assert snap["histograms"]["sizes"]["count"] == 2
 
 
+class TestHistogramMerge:
+    def test_merge_equals_single_recorder(self):
+        """Merging two halves reproduces one histogram over all values —
+        bucket-exact, no double counting."""
+        values = [1, 2, 3, 5, 9, 17, 1024, 1025, 0, 7]
+        combined = Histogram()
+        left, right = Histogram(), Histogram()
+        for v in values:
+            combined.add(v)
+        for v in values[:5]:
+            left.add(v)
+        for v in values[5:]:
+            right.add(v)
+        left.merge(right)
+        assert left.to_dict() == combined.to_dict()
+
+    def test_merge_accepts_exported_dict(self):
+        a, b = Histogram(), Histogram()
+        a.add(4)
+        b.add(100)
+        a.merge(b.to_dict())
+        d = a.to_dict()
+        assert d["count"] == 2
+        assert d["max"] == 100
+
+    def test_merge_into_empty(self):
+        a, b = Histogram(), Histogram()
+        b.add(6)
+        a.merge(b)
+        assert a.to_dict() == b.to_dict()
+        b.merge(Histogram())  # empty other leaves stats alone
+        assert a.to_dict() == b.to_dict()
+
+    def test_from_dict_roundtrip(self):
+        h = Histogram()
+        for v in (3, 300, 12):
+            h.add(v)
+        assert Histogram.from_dict(h.to_dict()).to_dict() == h.to_dict()
+
+
+class TestRecorderMerge:
+    """Recorder.merge — the deterministic shard-merge primitive."""
+
+    def test_counters_add(self):
+        a, b = InMemoryRecorder(), InMemoryRecorder()
+        a.count("x", 3)
+        b.count("x", 4)
+        b.count("y", 1)
+        a.merge(b)
+        assert a.counter("x") == 7
+        assert a.counter("y") == 1
+
+    def test_histograms_merge_without_double_count(self):
+        a, b = InMemoryRecorder(), InMemoryRecorder()
+        for v in (1, 5):
+            a.observe("sizes", v)
+        for v in (5, 9):
+            b.observe("sizes", v)
+        a.merge(b)
+        snap = a.metrics_snapshot()["histograms"]["sizes"]
+        assert snap["count"] == 4
+        assert snap["total"] == 20.0
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_merge_twice_double_counts_by_design(self):
+        """merge is additive; callers merge each worker exactly once."""
+        a, b = InMemoryRecorder(), InMemoryRecorder()
+        b.count("x")
+        a.merge(b)
+        a.merge(b)
+        assert a.counter("x") == 2
+
+    def test_spans_remapped_with_fresh_ids_and_attrs(self):
+        a, b = InMemoryRecorder(), InMemoryRecorder()
+        with a.span("parent.work"):
+            pass
+        with b.span("outer"):
+            with b.span("inner"):
+                pass
+        a.merge(b, span_attrs={"shard": 1})
+        names = {sp.name: sp for sp in a.spans}
+        assert set(names) == {"parent.work", "outer", "inner"}
+        # Parent links survive under fresh ids...
+        assert names["inner"].parent_id == names["outer"].span_id
+        ids = [sp.span_id for sp in a.spans]
+        assert len(set(ids)) == len(ids)
+        # ...and merged spans carry the shard tag, local spans do not.
+        assert names["outer"].attrs["shard"] == 1
+        assert "shard" not in names["parent.work"].attrs
+
+    def test_merge_accepts_exported_state(self):
+        a, b = InMemoryRecorder(), InMemoryRecorder()
+        b.count("n", 2)
+        with b.span("s"):
+            pass
+        b.event("evict", page=3)
+        a.merge(b.export_state())
+        assert a.counter("n") == 2
+        assert [sp.name for sp in a.spans] == ["s"]
+        (event,) = a.events
+        assert event["name"] == "evict"
+        assert event["ts"] >= 0.0
+
+    def test_merged_events_rebase_to_local_origin(self):
+        a = InMemoryRecorder()
+        b = InMemoryRecorder()
+        state = b.export_state()
+        state["events"] = [{"ts": 0.5, "name": "e", "fields": {}}]
+        a.merge(state)
+        (event,) = a.events
+        # b started after a, so the rebased timestamp moves forward.
+        assert event["ts"] >= 0.5
+
+    def test_base_recorder_merge_is_noop(self):
+        rec = Recorder()
+        rec.merge(InMemoryRecorder())  # must not raise
+
+    def test_jsonl_hooks_see_merged_spans(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            worker = InMemoryRecorder()
+            with worker.span("shard.work"):
+                pass
+            rec.merge(worker, span_attrs={"shard": 0})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = [rec for rec in lines if rec.get("type") == "span"]
+        assert any(
+            sp["name"] == "shard.work" and sp["attrs"] == {"shard": 0}
+            for sp in spans
+        )
+
+
 class TestEvents:
     def test_event_records_fields_and_time(self):
         rec = InMemoryRecorder()

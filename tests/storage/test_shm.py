@@ -1,0 +1,216 @@
+"""Shared-memory arena lifecycle: parent owns, workers attach, no leaks.
+
+The leak discipline under test (ISSUE 6, satellite 3): every segment is
+created and unlinked by the parent's :class:`ShmArena`; a worker that
+dies mid-shard cannot leak a segment because it never owned one.
+"""
+
+import multiprocessing
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.storage.page import (
+    SequencePagedDataset,
+    VectorPagedDataset,
+    dataset_from_shm_spec,
+    dataset_shm_spec,
+)
+from repro.storage.shm import (
+    ShmArena,
+    ShmAttachments,
+    attach_array,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform without usable shared memory"
+)
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _live_segments(names):
+    """Which of ``names`` still exist as shm files (Linux) or attach OK."""
+    alive = []
+    for name in names:
+        if _SHM_DIR.is_dir():
+            if (_SHM_DIR / name.lstrip("/")).exists():
+                alive.append(name)
+        else:  # pragma: no cover - non-Linux fallback
+            try:
+                _, seg = attach_array(
+                    type("S", (), {"name": name, "shape": (1,), "dtype": "<u1"})()
+                )
+            except FileNotFoundError:
+                continue
+            seg.close()
+            alive.append(name)
+    return alive
+
+
+class TestArena:
+    def test_share_attach_roundtrip(self):
+        data = np.arange(20, dtype=np.float64).reshape(4, 5)
+        with ShmArena() as arena:
+            spec = arena.share(data)
+            view, seg = attach_array(spec)
+            try:
+                np.testing.assert_array_equal(view, data)
+                assert view.dtype == data.dtype
+            finally:
+                del view
+                seg.close()
+
+    def test_share_is_idempotent_per_array(self):
+        data = np.arange(8.0)
+        with ShmArena() as arena:
+            assert arena.share(data) == arena.share(data)
+            assert len(arena.segment_names) == 1
+
+    def test_close_unlinks_everything(self):
+        arena = ShmArena()
+        arena.share(np.zeros(16))
+        arena.share(np.ones((3, 3)))
+        names = list(arena.segment_names)
+        assert len(names) == 2
+        arena.close()
+        assert _live_segments(names) == []
+        arena.close()  # idempotent
+
+    def test_context_exit_unlinks_on_error(self):
+        names = []
+        with pytest.raises(RuntimeError):
+            with ShmArena() as arena:
+                arena.share(np.zeros(4))
+                names = list(arena.segment_names)
+                raise RuntimeError("worker pool blew up")
+        assert _live_segments(names) == []
+
+    def test_zero_byte_array_shares(self):
+        with ShmArena() as arena:
+            spec = arena.share(np.empty((0, 2), dtype=np.float64))
+            view, seg = attach_array(spec)
+            try:
+                assert view.shape == (0, 2)
+            finally:
+                del view
+                seg.close()
+
+
+class TestAttachments:
+    def test_attach_caches_by_name(self):
+        with ShmArena() as arena:
+            spec = arena.share(np.arange(6.0))
+            attachments = ShmAttachments()
+            try:
+                a = attachments.attach(spec)
+                b = attachments.attach(spec)
+                assert a is b
+            finally:
+                del a, b
+                attachments.close()
+
+    def test_close_after_dropping_views(self):
+        """The worker discipline: views die first, then close unmaps."""
+        with ShmArena() as arena:
+            spec = arena.share(np.arange(6.0))
+            attachments = ShmAttachments()
+            view = attachments.attach(spec)
+            assert view[3] == 3.0
+            del view
+            attachments.close()
+            attachments.close()  # idempotent
+
+
+def _crash_after_attach(spec_payload):
+    """Child: attach a segment, then die without any cleanup."""
+    from repro.storage.shm import SharedArraySpec, attach_array
+
+    spec = SharedArraySpec(*spec_payload)
+    view, seg = attach_array(spec)
+    assert view.size > 0
+    os._exit(13)
+
+
+class TestWorkerCrash:
+    def test_crashed_worker_leaks_nothing(self):
+        """Kill a worker holding an attachment; parent still reclaims."""
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        with ShmArena() as arena:
+            spec = arena.share(np.arange(32, dtype=np.float64))
+            names = list(arena.segment_names)
+            child = ctx.Process(
+                target=_crash_after_attach,
+                args=((spec.name, spec.shape, spec.dtype),),
+            )
+            child.start()
+            child.join(timeout=60)
+            assert child.exitcode == 13
+            # Segment survives the crash (the parent still owns it)...
+            assert _live_segments(names) == names
+        # ...and the arena exit reclaims it.
+        assert _live_segments(names) == []
+
+
+class TestDatasetSpecs:
+    def test_vector_roundtrip(self):
+        data = np.arange(60, dtype=np.float64).reshape(30, 2)
+        original = VectorPagedDataset(data, objects_per_page=4, dataset_id="V")
+        with ShmArena() as arena:
+            spec = dataset_shm_spec(original, arena.share)
+            attachments = ShmAttachments()
+            try:
+                rebuilt = dataset_from_shm_spec(spec, attachments.attach)
+                assert rebuilt.dataset_id == original.dataset_id
+                assert rebuilt.num_pages == original.num_pages
+                for page in range(original.num_pages):
+                    np.testing.assert_array_equal(
+                        rebuilt.page_objects(page), original.page_objects(page)
+                    )
+                del rebuilt
+            finally:
+                attachments.close()
+
+    def test_text_roundtrip(self):
+        rng = np.random.default_rng(3)
+        text = "".join(rng.choice(list("ACGT"), size=400))
+        original = SequencePagedDataset(
+            text, symbols_per_page=64, window_length=12, dataset_id="T"
+        )
+        with ShmArena() as arena:
+            spec = dataset_shm_spec(original, arena.share)
+            attachments = ShmAttachments()
+            try:
+                rebuilt = dataset_from_shm_spec(spec, attachments.attach)
+                assert rebuilt.is_text
+                assert rebuilt.sequence == original.sequence
+                assert rebuilt.num_pages == original.num_pages
+                del rebuilt
+            finally:
+                attachments.close()
+
+    def test_series_roundtrip(self):
+        rng = np.random.default_rng(4)
+        seq = rng.normal(size=300).cumsum()
+        original = SequencePagedDataset(
+            seq, symbols_per_page=32, window_length=12, dataset_id="W"
+        )
+        with ShmArena() as arena:
+            spec = dataset_shm_spec(original, arena.share)
+            attachments = ShmAttachments()
+            try:
+                rebuilt = dataset_from_shm_spec(spec, attachments.attach)
+                assert not rebuilt.is_text
+                np.testing.assert_array_equal(
+                    np.asarray(rebuilt.sequence), seq
+                )
+                del rebuilt
+            finally:
+                attachments.close()
