@@ -38,6 +38,18 @@ CHECKED_SECTIONS = (
 )
 MAX_SLOWDOWN = 2.0
 
+# The ``prefilter`` section is gated absolutely instead of against the
+# baseline ratio.  Its contract: approximate mode reaches the minimum
+# end-to-end speedup on the high-dimensional genome config (d = 192
+# PAA-domain windows), and exact mode stays within the overhead budget
+# there.  The small spatial/landsat rows are recorded for honesty —
+# sketch scoring dominates sub-100ms joins, so their wall-clock ratios
+# say nothing portable — and are deliberately not gated.
+PREFILTER_GATED_ROW = "genome"
+PREFILTER_MIN_SPEEDUP = 1.5
+PREFILTER_MAX_EXACT_OVERHEAD_PCT = 2.0
+PREFILTER_MIN_RECALL = 0.99
+
 
 def collect_speedups(section, prefix):
     """Flatten every key named ``speedup`` under ``section`` to ``{path: value}``."""
@@ -59,6 +71,46 @@ def load_speedups(path):
         if name in data:
             found.update(collect_speedups(data[name], name))
     return found
+
+
+def check_prefilter(path):
+    """Absolute gates for the sketch-prefilter cascade (ISSUE 7)."""
+    with open(path) as fh:
+        section = json.load(fh).get("prefilter")
+    if section is None:
+        return [], ["prefilter: section missing from fresh results"]
+
+    failures = []
+    lines = []
+    row = section.get(PREFILTER_GATED_ROW)
+    if row is None:
+        return [], [f"prefilter.{PREFILTER_GATED_ROW}: gated row missing"]
+    speedup = float(row.get("speedup", 0.0))
+    overhead = float(row.get("exact_overhead_pct", 100.0))
+    status = "FAIL" if speedup < PREFILTER_MIN_SPEEDUP else "ok"
+    lines.append(
+        f"{status:4} prefilter.{PREFILTER_GATED_ROW}: approximate "
+        f"{speedup:.2f}x (floor {PREFILTER_MIN_SPEEDUP}x), exact overhead "
+        f"{overhead:+.1f}% (cap {PREFILTER_MAX_EXACT_OVERHEAD_PCT}%)"
+    )
+    if speedup < PREFILTER_MIN_SPEEDUP:
+        failures.append(
+            f"prefilter.{PREFILTER_GATED_ROW}: approximate speedup "
+            f"{speedup:.2f}x below the {PREFILTER_MIN_SPEEDUP}x floor"
+        )
+    if overhead > PREFILTER_MAX_EXACT_OVERHEAD_PCT:
+        failures.append(
+            f"prefilter.{PREFILTER_GATED_ROW}: exact-mode overhead "
+            f"{overhead:.1f}% exceeds {PREFILTER_MAX_EXACT_OVERHEAD_PCT}%"
+        )
+    for name, data in sorted(section.items()):
+        recall = data.get("recall_measured") if isinstance(data, dict) else None
+        if recall is not None and float(recall) < PREFILTER_MIN_RECALL:
+            failures.append(
+                f"prefilter.{name}: measured recall {float(recall):.4f} "
+                f"below {PREFILTER_MIN_RECALL}"
+            )
+    return lines, failures
 
 
 def main(argv):
@@ -83,6 +135,11 @@ def main(argv):
             )
     for path in sorted(set(fresh) - set(baseline)):
         print(f"new  {path}: {fresh[path]:.2f}x (no baseline)")
+
+    prefilter_lines, prefilter_failures = check_prefilter(argv[2])
+    for line in prefilter_lines:
+        print(line)
+    failures.extend(prefilter_failures)
 
     if failures:
         print("\nBench regression detected:")

@@ -22,6 +22,7 @@ from repro.core.join import JOIN_METHODS, IndexedDataset, JoinResult, join
 from repro.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.errors import InfeasibleBufferError, ReproError
 from repro.sequence.subjoin import subsequence_join
+from repro.sketch.config import PrefilterConfig
 from repro.storage.stats import CostReport
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "JoinResult",
     "join",
     "JOIN_METHODS",
+    "PrefilterConfig",
     "subsequence_join",
     "CostModel",
     "DEFAULT_COST_MODEL",

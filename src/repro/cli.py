@@ -114,6 +114,17 @@ def _add_join(subcommands) -> None:
                      help="partition clusters across worker *processes* over "
                           "shared-memory page blocks (sc/rand-sc/cc methods); "
                           "results and simulated I/O are identical to serial")
+    cmd.add_argument("--prefilter", default=None,
+                     choices=["exact", "approximate"],
+                     help="sketch prefilter cascade: 'exact' only reorders "
+                          "each cluster's page pairs by estimated yield "
+                          "(results bit-identical); 'approximate' also "
+                          "unmarks cells whose estimated collision mass is "
+                          "negligible, calibrated to --recall-target")
+    cmd.add_argument("--recall-target", type=float, default=0.99,
+                     help="approximate prefilter's calibration target: "
+                          "estimated fraction of result pairs that must "
+                          "survive pruning (default 0.99)")
     cmd.add_argument("--seed", type=int, default=0)
     cmd.set_defaults(handler=_run_join)
 
@@ -147,6 +158,14 @@ def _run_join(args) -> int:
         else:
             recorder = JsonlRecorder(args.trace_out)
 
+    prefilter = None
+    if args.prefilter is not None:
+        from repro import PrefilterConfig
+
+        prefilter = PrefilterConfig(
+            mode=args.prefilter, recall_target=args.recall_target
+        )
+
     result = join(
         left, right, args.epsilon,
         method=args.method,
@@ -156,9 +175,17 @@ def _run_join(args) -> int:
         recorder=recorder,
         workers=args.workers,
         shard_strategy=args.shard_strategy,
+        prefilter=prefilter,
     )
     report = result.report
     print(f"{result.num_pairs} pairs within epsilon={args.epsilon}")
+    info = report.extra.get("prefilter")
+    if info is not None:
+        print(
+            f"prefilter[{info['mode']}]: scored {info['cells_scored']} cells, "
+            f"unmarked {info['cells_unmarked']}, "
+            f"estimated recall {info['est_recall']:.4f}"
+        )
     print(report.describe())
     if args.pairs_out is not None:
         with open(args.pairs_out, "w") as handle:

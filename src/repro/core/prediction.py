@@ -256,6 +256,61 @@ class PredictionMatrix:
             self._cols_cache = None
         self._count -= 1
 
+    def unmark_many(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Remove a batch of ``(rows[k], cols[k])`` marked entries.
+
+        The prefilter cascade unmarks thousands of cells at once; this
+        validates the whole batch first (one bounds check, a
+        ``KeyError`` naming the first unmarked entry — leaving the
+        matrix untouched on failure), then mutates with at most one
+        cache invalidation per side instead of per-entry churn.
+        Duplicate entries within the batch raise like unmarked ones.
+        """
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError(
+                f"rows and cols must be 1-d arrays of equal length, "
+                f"got shapes {rows.shape} and {cols.shape}"
+            )
+        if rows.size == 0:
+            return
+        if (
+            rows.min() < 0
+            or rows.max() >= self.num_rows
+            or cols.min() < 0
+            or cols.max() >= self.num_cols
+        ):
+            raise IndexError(
+                f"batch contains entries outside matrix {self.num_rows}x{self.num_cols}"
+            )
+        pairs = list(zip(rows.tolist(), cols.tolist()))
+        seen = set()
+        for row, col in pairs:
+            if (row, col) in seen or col not in self._rows.get(row, ()):
+                raise KeyError(f"entry ({row}, {col}) is not marked")
+            seen.add((row, col))
+        row_sets = self._rows
+        col_sets = self._cols
+        rows_changed = False
+        cols_changed = False
+        for row, col in pairs:
+            row_set = row_sets[row]
+            row_set.remove(col)
+            if not row_set:
+                del row_sets[row]
+                rows_changed = True
+            col_set = col_sets[col]
+            col_set.remove(row)
+            if not col_set:
+                del col_sets[col]
+                cols_changed = True
+        if rows_changed:
+            self._rows_cache = None
+        if cols_changed:
+            self._cols_cache = None
+        self._count -= len(pairs)
+
     def keep_upper_triangle(self) -> None:
         """Drop entries with ``row > col`` (self-join symmetry reduction).
 

@@ -34,6 +34,7 @@ from repro.core.joiners import (
     TextPagePairJoiner,
 )
 from repro.obs.recorder import NULL_RECORDER, InMemoryRecorder
+from repro.sketch.cascade import PrefilteredJoiner
 from repro.storage.page import dataset_from_shm_spec, dataset_shm_spec
 from repro.storage.shm import ShmArena, ShmAttachments
 
@@ -107,6 +108,16 @@ def build_shard_task(
 
 def _joiner_recipe(joiner, arena: ShmArena) -> Dict[str, Any]:
     """The picklable recipe to rebuild a built-in joiner in a worker."""
+    if isinstance(joiner, PrefilteredJoiner):
+        # The wrapper's cell-score arrays ride the shared-memory arena
+        # like the text features do; the base joiner recurses.
+        return {
+            "kind": "prefiltered",
+            "base": _joiner_recipe(joiner.base, arena),
+            "cell_rows": arena.share(joiner.cell_rows),
+            "cell_cols": arena.share(joiner.cell_cols),
+            "cell_scores": arena.share(joiner.cell_scores),
+        }
     common = {
         "epsilon": joiner.epsilon,
         "cost_model": joiner.cost_model,
@@ -131,6 +142,8 @@ def _joiner_recipe(joiner, arena: ShmArena) -> Dict[str, Any]:
 
 def shardable_joiner(joiner) -> bool:
     """Whether :func:`_joiner_recipe` can ship this joiner to workers."""
+    if isinstance(joiner, PrefilteredJoiner):
+        return shardable_joiner(joiner.base)
     return isinstance(joiner, (NumericPagePairJoiner, TextPagePairJoiner))
 
 
@@ -206,6 +219,17 @@ def _run_shard_attached(
 def _rebuild_joiner(
     recipe: Dict[str, Any], r_dataset, s_dataset, attachments: ShmAttachments, recorder
 ):
+    if recipe["kind"] == "prefiltered":
+        base = _rebuild_joiner(
+            recipe["base"], r_dataset, s_dataset, attachments, recorder
+        )
+        return PrefilteredJoiner(
+            base,
+            attachments.attach(recipe["cell_rows"]),
+            attachments.attach(recipe["cell_cols"]),
+            attachments.attach(recipe["cell_scores"]),
+            recorder=recorder,
+        )
     if recipe["kind"] == "numeric":
         return NumericPagePairJoiner(
             r_dataset,

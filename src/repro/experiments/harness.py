@@ -50,6 +50,7 @@ def run_methods(
     seed: int = 0,
     matrix_cache: "str | None" = None,
     recorder: Optional[Recorder] = None,
+    prefilter=None,
 ) -> Dict[str, MethodRun]:
     """Run each method once; infeasible methods yield ``report=None``.
 
@@ -61,7 +62,18 @@ def run_methods(
     to zero, which is the honest accounting: they ran no sweep).  A
     ``recorder`` is shared by every method's join, so its trace carries
     one span tree per method run back to back.
+
+    ``prefilter`` is forwarded to :func:`repro.core.join.join` for the
+    matrix-clustering methods (sc/rand-sc/cc); competitor baselines
+    (nlj and the index variants) ignore it, matching ``join``'s own
+    validation.  An approximate prefilter may legitimately drop result
+    pairs, so the cross-method agreement check is skipped in that mode
+    — recall is then a measured quantity
+    (:func:`repro.sketch.cascade.measured_recall`), not an invariant.
     """
+    from repro.sketch.config import resolve_prefilter
+
+    pf_config = resolve_prefilter(prefilter)
     runs: Dict[str, MethodRun] = {}
     for method in methods:
         try:
@@ -74,12 +86,16 @@ def run_methods(
                 count_only=True,
                 matrix_cache=matrix_cache,
                 recorder=recorder,
+                prefilter=(
+                    pf_config if method in ("sc", "rand-sc", "cc") else None
+                ),
             )
         except InfeasibleBufferError:
             runs[method] = MethodRun(method, buffer_pages, None, None)
             continue
         runs[method] = MethodRun(method, buffer_pages, result.report, result.num_pairs)
-    _check_result_agreement(runs)
+    if pf_config is None or not pf_config.approximate:
+        _check_result_agreement(runs)
     return runs
 
 
@@ -93,17 +109,19 @@ def sweep_buffer_sizes(
     seed: int = 0,
     matrix_cache: "str | None" = None,
     recorder: Optional[Recorder] = None,
+    prefilter=None,
 ) -> Dict[str, List[MethodRun]]:
     """One :func:`run_methods` per buffer size, grouped per method.
 
     The prediction matrix does not depend on the buffer size, so a
-    ``matrix_cache`` makes the whole sweep build it exactly once.
+    ``matrix_cache`` makes the whole sweep build it exactly once (and
+    the sketch cache makes any ``prefilter`` sketches build once too).
     """
     per_method: Dict[str, List[MethodRun]] = {method: [] for method in methods}
     for buffer_pages in buffer_sizes:
         runs = run_methods(
             r, s, epsilon, methods, buffer_pages, cost_model=cost_model, seed=seed,
-            matrix_cache=matrix_cache, recorder=recorder,
+            matrix_cache=matrix_cache, recorder=recorder, prefilter=prefilter,
         )
         for method in methods:
             per_method[method].append(runs[method])

@@ -15,6 +15,7 @@ from repro.obs.export import (
 from repro.obs.recorder import (
     BATCHING_VARIANT_COUNTERS,
     NULL_RECORDER,
+    PREFILTER_VARIANT_COUNTER_PREFIXES,
     SHARDING_VARIANT_COUNTER_PREFIXES,
     Histogram,
     InMemoryRecorder,
@@ -27,6 +28,7 @@ from repro.obs.recorder import (
 __all__ = [
     "BATCHING_VARIANT_COUNTERS",
     "SHARDING_VARIANT_COUNTER_PREFIXES",
+    "PREFILTER_VARIANT_COUNTER_PREFIXES",
     "Recorder",
     "NullRecorder",
     "InMemoryRecorder",

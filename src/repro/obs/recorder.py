@@ -45,6 +45,7 @@ __all__ = [
     "NULL_RECORDER",
     "BATCHING_VARIANT_COUNTERS",
     "SHARDING_VARIANT_COUNTER_PREFIXES",
+    "PREFILTER_VARIANT_COUNTER_PREFIXES",
 ]
 
 # Counters that measure *how* work was batched rather than *what* work
@@ -72,6 +73,15 @@ BATCHING_VARIANT_COUNTERS = frozenset(
 # serial and sharded paths must drop counters with these prefixes (and
 # the batching set) and require everything else to match exactly.
 SHARDING_VARIANT_COUNTER_PREFIXES = ("executor.shard",)
+
+# Counter-name prefixes that exist only with the sketch prefilter
+# enabled (``join(..., prefilter=...)`` — cell scoring, sketch-cache
+# traffic, cascade reordering).  Exact-mode equivalence checks against
+# ``prefilter=None`` must drop counters with these prefixes and require
+# everything else to match exactly.  Between serial and sharded runs of
+# the *same* prefilter setting these counters are NOT variant: worker
+# shards' ``prefilter.*`` sums equal the serial totals.
+PREFILTER_VARIANT_COUNTER_PREFIXES = ("prefilter.",)
 
 
 class Span:

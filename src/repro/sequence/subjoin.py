@@ -55,6 +55,7 @@ def subsequence_join(
     workers: int = 1,
     recorder: Optional[Recorder] = None,
     batch_pairs: Optional[int] = None,
+    prefilter=None,
 ) -> SubsequenceJoinResult:
     """Find all window pairs of length ``window_length`` within ``epsilon``.
 
@@ -68,7 +69,10 @@ def subsequence_join(
     :class:`repro.obs.Recorder` to the underlying page join for span
     traces and metrics.  ``batch_pairs`` sets the cluster-execution
     granularity (``None`` = whole-cluster mega-batch, ``1`` = per page
-    pair) without changing results or accounting.
+    pair) without changing results or accounting.  ``prefilter``
+    forwards a sketch-cascade mode or :class:`repro.sketch.PrefilterConfig`
+    (``"exact"`` reorders only; ``"approximate"`` prunes under a recall
+    target — see :func:`repro.core.join.join`).
 
     Examples
     --------
@@ -96,6 +100,7 @@ def subsequence_join(
         workers=workers,
         recorder=recorder,
         batch_pairs=batch_pairs,
+        prefilter=prefilter,
     )
     return SubsequenceJoinResult(
         offsets=result.pairs,

@@ -41,6 +41,10 @@ __all__ = [
     "save_matrix",
     "load_matrix",
     "invalidate_matrix_cache",
+    "sketch_cache_key",
+    "save_sketches",
+    "load_sketches",
+    "invalidate_sketch_cache",
 ]
 
 _FORMAT_VERSION = 1
@@ -53,6 +57,8 @@ _MATRIX_PREFIX = "pm_"
 # np.savez_compressed appends the extension to any other name, which
 # would leave the os.replace source path dangling.
 _MATRIX_TMP_SUFFIX = ".tmp.npz"
+_SKETCH_FORMAT_VERSION = 1
+_SKETCH_PREFIX = "sk_"
 
 
 def save_dataset(dataset, directory: "str | Path") -> Path:
@@ -294,6 +300,107 @@ def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) 
         return 1
     removed = 0
     for entry in path.glob(f"{_MATRIX_PREFIX}*.npz"):
+        entry.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
+# -- page-sketch cache -------------------------------------------------------------
+
+
+def sketch_cache_key(fingerprint: str, params_fingerprint: str) -> str:
+    """Cache key of one dataset's page sketches.
+
+    Combines the dataset fingerprint (page/MBR structure — any change to
+    the data or paging yields a new key) with the sketch-parameter
+    fingerprint (:func:`repro.sketch.signatures.sketch_params_fingerprint`,
+    covering kind, seed, and every width/length knob), so differently
+    configured sketches of the same dataset coexist in one directory.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"sk-key-v1")
+    digest.update(fingerprint.encode())
+    digest.update(params_fingerprint.encode())
+    return digest.hexdigest()
+
+
+def save_sketches(sketches, directory: "str | Path", key: str) -> Path:
+    """Persist built page sketches under ``directory`` keyed by ``key``.
+
+    Atomic exactly like :func:`save_matrix`: per-process temporary name,
+    ``os.replace`` onto the final path, so concurrent writers racing on
+    the same (content-derived) key never expose a half-written archive.
+    """
+    from repro.sketch.signatures import PageSketches  # local: avoid cycle
+
+    if not isinstance(sketches, PageSketches):
+        raise TypeError(f"expected PageSketches, got {type(sketches).__name__}")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    target = path / f"{_SKETCH_PREFIX}{key}.npz"
+    # Suffix must stay ".npz" or np.savez_compressed appends another one.
+    tmp = path / f"{_SKETCH_PREFIX}{key}.{os.getpid()}{_MATRIX_TMP_SUFFIX}"
+    try:
+        np.savez_compressed(
+            tmp,
+            version=np.int64(_SKETCH_FORMAT_VERSION),
+            kind=np.array(sketches.kind),
+            signatures=sketches.signatures,
+            counts=sketches.counts,
+        )
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return target
+
+
+def load_sketches(directory: "str | Path", key: str):
+    """Load cached page sketches, or ``None`` on a cache miss.
+
+    Corrupt, truncated or version-mismatched entries are misses, not
+    errors — the caller rebuilds and the next :func:`save_sketches`
+    replaces the bad file (same recovery contract as
+    :func:`load_matrix`).
+    """
+    from repro.sketch.signatures import SKETCH_KINDS, PageSketches  # local: avoid cycle
+
+    target = Path(directory) / f"{_SKETCH_PREFIX}{key}.npz"
+    if not target.exists():
+        return None
+    try:
+        with np.load(target) as payload:
+            if int(payload["version"]) != _SKETCH_FORMAT_VERSION:
+                return None
+            kind = str(payload["kind"])
+            if kind not in SKETCH_KINDS:
+                return None
+            return PageSketches(
+                kind=kind,
+                signatures=payload["signatures"],
+                counts=payload["counts"],
+            )
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError):
+        return None
+
+
+def invalidate_sketch_cache(directory: "str | Path", key: Optional[str] = None) -> int:
+    """Drop cached sketches; returns how many entries were removed.
+
+    Mirrors :func:`invalidate_matrix_cache`: one entry with ``key``,
+    otherwise every cached sketch in ``directory``.
+    """
+    path = Path(directory)
+    if not path.is_dir():
+        return 0
+    if key is not None:
+        target = path / f"{_SKETCH_PREFIX}{key}.npz"
+        if not target.exists():
+            return 0
+        # missing_ok: another process may unlink between exists and here.
+        target.unlink(missing_ok=True)
+        return 1
+    removed = 0
+    for entry in path.glob(f"{_SKETCH_PREFIX}*.npz"):
         entry.unlink(missing_ok=True)
         removed += 1
     return removed

@@ -239,3 +239,70 @@ class TestCSRWorkMatrix:
     def test_rejects_mismatched_coordinates(self):
         with pytest.raises(ValueError):
             CSRWorkMatrix(2, 2, np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestUnmarkMany:
+    """Vectorized batch unmarking: one validation pass, one cache
+    invalidation per side, all-or-nothing on bad batches."""
+
+    def _matrix(self):
+        m = PredictionMatrix(6, 6)
+        m.mark_many(
+            np.asarray([0, 0, 1, 2, 2, 4, 5]),
+            np.asarray([1, 5, 0, 1, 4, 1, 5]),
+        )
+        return m
+
+    def test_batch_matches_singles(self):
+        batch, singles = self._matrix(), self._matrix()
+        batch.unmark_many(np.asarray([0, 2, 4]), np.asarray([5, 1, 1]))
+        for row, col in [(0, 5), (2, 1), (4, 1)]:
+            singles.unmark(row, col)
+        assert batch == singles
+        assert batch.num_marked == 4
+
+    def test_to_coo_round_trip_after_unmark(self):
+        m = self._matrix()
+        m.unmark_many(np.asarray([0, 5]), np.asarray([1, 5]))
+        rows, cols = m.to_coo()
+        rebuilt = PredictionMatrix.from_coo(m.num_rows, m.num_cols, rows, cols)
+        assert rebuilt == m
+        assert rebuilt.num_marked == m.num_marked == 5
+
+    def test_empty_batch_is_a_noop(self):
+        m = self._matrix()
+        m.unmark_many(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert m.num_marked == 7
+
+    def test_caches_invalidated_once(self):
+        m = self._matrix()
+        rows, cols = m.marked_rows(), m.marked_cols()
+        # (2, 4) removes col 4; row 2 keeps (2, 1) so rows cache is reused.
+        m.unmark_many(np.asarray([2]), np.asarray([4]))
+        assert m.marked_rows() is rows
+        assert m.marked_cols() == [0, 1, 5]
+        # Dropping the last entry of row 5 invalidates the rows cache.
+        m.unmark_many(np.asarray([5]), np.asarray([5]))
+        assert m.marked_rows() == [0, 1, 2, 4]
+
+    def test_shape_mismatch_rejected(self):
+        m = self._matrix()
+        with pytest.raises(ValueError, match="equal length"):
+            m.unmark_many(np.asarray([0, 1]), np.asarray([1]))
+
+    def test_out_of_bounds_rejected(self):
+        m = self._matrix()
+        with pytest.raises(IndexError):
+            m.unmark_many(np.asarray([0, 6]), np.asarray([1, 0]))
+
+    def test_unmarked_entry_rejected_and_matrix_untouched(self):
+        m = self._matrix()
+        with pytest.raises(KeyError, match=r"\(3, 3\)"):
+            m.unmark_many(np.asarray([0, 3]), np.asarray([1, 3]))
+        assert m == self._matrix()  # valid prefix (0, 1) was not applied
+
+    def test_duplicate_in_batch_rejected(self):
+        m = self._matrix()
+        with pytest.raises(KeyError, match=r"\(0, 1\)"):
+            m.unmark_many(np.asarray([0, 0]), np.asarray([1, 1]))
+        assert m == self._matrix()
