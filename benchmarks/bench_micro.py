@@ -184,6 +184,95 @@ def test_refinement_kernel_speedup(record_json):
     assert edit_speedup >= 3.0
 
 
+# -- kernel backends (ISSUE 8) -----------------------------------------------------
+#
+# Every registered backend against the frozen numpy reference kernels,
+# on two workloads: *survivor-heavy* (perturbed pairs — what the DP
+# actually sees after LB_Keogh / frequency-distance filtering, where
+# most pairs run the full band) and *abandon-heavy* (distant pairs that
+# die within a few rows — recorded for honesty, not gated: a row is only
+# provably complete once ~band further anti-diagonals have been swept,
+# so on instant-abandon input the wavefront can trail the row kernel's
+# immediate exit).  Results
+# must be bitwise equal to numpy in every cell; the wavefront's
+# combined survivor-heavy speedup is the gated contract (>= 3x).
+# Quick mode keeps the full workload — shrinking the batch changes the
+# interpreter-overhead balance and makes the recorded ratios
+# incomparable with the committed full-run baseline.
+
+
+def test_kernel_backend_speedup(record_json):
+    from repro.kernels import registered_backends
+
+    rng = np.random.default_rng(8)
+    pairs, w, band = 4_000, 64, 4
+    repeats = 2 if QUICK else 3
+
+    a = rng.normal(size=(pairs, w)).cumsum(axis=1)
+    survivors_b = a + rng.normal(scale=0.3, size=(pairs, w))
+    abandon_b = a + rng.normal(loc=8.0, scale=2.0, size=(pairs, w))
+    eps = 3.0
+
+    dna = markov_dna(pairs + w, seed=9)
+    left = [dna[k : k + w] for k in range(pairs)]
+    mutated = list(dna)
+    for pos in rng.choice(len(mutated), size=len(mutated) // 12, replace=False):
+        mutated[pos] = "ACGT"[rng.integers(4)]
+    lc = encode_strings(left)
+    survivors_rc = encode_strings(["".join(mutated[k : k + w]) for k in range(pairs)])
+    abandon_rc = encode_strings(
+        ["".join("ACGT"[c] for c in rng.integers(4, size=w)) for _ in range(pairs)]
+    )
+    limit = 8
+
+    workloads = {
+        "survivor_heavy": (survivors_b, survivors_rc),
+        "abandon_heavy": (abandon_b, abandon_rc),
+    }
+    section = {"pairs": pairs, "window_length": w, "band": band,
+               "dtw_epsilon": eps, "edit_threshold": limit}
+    for workload, (b, rc) in workloads.items():
+        rows = {}
+        base_dtw_s, base_dtw = _best_of(
+            lambda b=b: dtw_batch(a, b, band, max_dist=eps, backend="numpy"),
+            repeats=repeats,
+        )
+        base_edit_s, base_edit = _best_of(
+            lambda rc=rc: edit_batch(lc, rc, limit, backend="numpy"),
+            repeats=repeats,
+        )
+        rows["numpy"] = {"dtw_seconds": base_dtw_s, "edit_seconds": base_edit_s}
+        for name in registered_backends():
+            if name == "numpy":
+                continue
+            dtw_s, dtw_out = _best_of(
+                lambda b=b, name=name: dtw_batch(
+                    a, b, band, max_dist=eps, backend=name
+                ),
+                repeats=repeats,
+            )
+            edit_s, edit_out = _best_of(
+                lambda rc=rc, name=name: edit_batch(lc, rc, limit, backend=name),
+                repeats=repeats,
+            )
+            assert np.array_equal(dtw_out, base_dtw)
+            assert np.array_equal(edit_out, base_edit)
+            rows[name] = {
+                "dtw_seconds": dtw_s,
+                "edit_seconds": edit_s,
+                "dtw": {"speedup": base_dtw_s / dtw_s},
+                "edit": {"speedup": base_edit_s / edit_s},
+                "combined": {
+                    "speedup": (base_dtw_s + base_edit_s) / (dtw_s + edit_s)
+                },
+            }
+        section[workload] = rows
+
+    record_json("kernel_backends", section)
+    gated = section["survivor_heavy"]["wavefront"]["combined"]["speedup"]
+    assert gated >= 3.0
+
+
 def test_minkowski_gram_filter_speedup(record_json):
     """Gram prefilter + gathered refine vs the difference-tensor reference."""
     rng = np.random.default_rng(2)

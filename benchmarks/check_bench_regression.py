@@ -35,8 +35,21 @@ CHECKED_SECTIONS = (
     "clustering",
     "join_e2e",
     "observability",
+    "kernel_backends",
 )
 MAX_SLOWDOWN = 2.0
+
+# Optional-backend rows (numba) appear only where the optional extra is
+# installed; their absence is never a regression, so their paths are
+# dropped before the baseline/fresh comparison.
+OPTIONAL_BACKEND_MARKERS = (".numba.",)
+
+# The ``kernel_backends`` section also carries an absolute gate: the
+# wavefront backend's combined DTW+edit speedup over the frozen numpy
+# reference on the survivor-heavy workload (the realistic post-filter
+# refinement mix) must hold the ISSUE 8 floor on any machine.
+KERNEL_BACKEND_GATED_PATH = ("survivor_heavy", "wavefront", "combined", "speedup")
+KERNEL_BACKEND_MIN_SPEEDUP = 3.0
 
 # The ``prefilter`` section is gated absolutely instead of against the
 # baseline ratio.  Its contract: approximate mode reaches the minimum
@@ -70,7 +83,11 @@ def load_speedups(path):
     for name in CHECKED_SECTIONS:
         if name in data:
             found.update(collect_speedups(data[name], name))
-    return found
+    return {
+        path: value
+        for path, value in found.items()
+        if not any(marker in path for marker in OPTIONAL_BACKEND_MARKERS)
+    }
 
 
 def check_prefilter(path):
@@ -113,6 +130,35 @@ def check_prefilter(path):
     return lines, failures
 
 
+def check_kernel_backends(path):
+    """Absolute wavefront-vs-numpy gate (ISSUE 8)."""
+    with open(path) as fh:
+        section = json.load(fh).get("kernel_backends")
+    if section is None:
+        return [], ["kernel_backends: section missing from fresh results"]
+    node = section
+    for key in KERNEL_BACKEND_GATED_PATH:
+        node = node.get(key) if isinstance(node, dict) else None
+        if node is None:
+            return [], [
+                "kernel_backends: gated row "
+                + ".".join(KERNEL_BACKEND_GATED_PATH) + " missing"
+            ]
+    speedup = float(node)
+    status = "FAIL" if speedup < KERNEL_BACKEND_MIN_SPEEDUP else "ok"
+    lines = [
+        f"{status:4} kernel_backends.survivor_heavy.wavefront: combined "
+        f"{speedup:.2f}x (floor {KERNEL_BACKEND_MIN_SPEEDUP}x)"
+    ]
+    failures = []
+    if speedup < KERNEL_BACKEND_MIN_SPEEDUP:
+        failures.append(
+            f"kernel_backends: wavefront combined speedup {speedup:.2f}x "
+            f"below the {KERNEL_BACKEND_MIN_SPEEDUP}x floor"
+        )
+    return lines, failures
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__)
@@ -140,6 +186,11 @@ def main(argv):
     for line in prefilter_lines:
         print(line)
     failures.extend(prefilter_failures)
+
+    backend_lines, backend_failures = check_kernel_backends(argv[2])
+    for line in backend_lines:
+        print(line)
+    failures.extend(backend_failures)
 
     if failures:
         print("\nBench regression detected:")

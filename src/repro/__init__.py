@@ -20,7 +20,7 @@ True
 
 from repro.core.join import JOIN_METHODS, IndexedDataset, JoinResult, join
 from repro.costmodel import DEFAULT_COST_MODEL, CostModel
-from repro.errors import InfeasibleBufferError, ReproError
+from repro.errors import ConfigError, InfeasibleBufferError, ReproError
 from repro.sequence.subjoin import subsequence_join
 from repro.sketch.config import PrefilterConfig
 from repro.storage.stats import CostReport
@@ -36,6 +36,7 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "CostReport",
     "ReproError",
+    "ConfigError",
     "InfeasibleBufferError",
 ]
 

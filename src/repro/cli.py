@@ -121,6 +121,11 @@ def _add_join(subcommands) -> None:
                           "(results bit-identical); 'approximate' also "
                           "unmarks cells whose estimated collision mass is "
                           "negligible, calibrated to --recall-target")
+    cmd.add_argument("--kernel-backend", default=None,
+                     help="refinement kernel substrate (numpy, wavefront, "
+                          "numba when installed); default: the "
+                          "REPRO_KERNEL_BACKEND env var, then 'wavefront'. "
+                          "All backends are bit-identical")
     cmd.add_argument("--recall-target", type=float, default=0.99,
                      help="approximate prefilter's calibration target: "
                           "estimated fraction of result pairs that must "
@@ -166,17 +171,24 @@ def _run_join(args) -> int:
             mode=args.prefilter, recall_target=args.recall_target
         )
 
-    result = join(
-        left, right, args.epsilon,
-        method=args.method,
-        buffer_pages=args.buffer_pages,
-        seed=args.seed,
-        count_only=args.pairs_out is None,
-        recorder=recorder,
-        workers=args.workers,
-        shard_strategy=args.shard_strategy,
-        prefilter=prefilter,
-    )
+    from repro.errors import ConfigError
+
+    try:
+        result = join(
+            left, right, args.epsilon,
+            method=args.method,
+            buffer_pages=args.buffer_pages,
+            seed=args.seed,
+            count_only=args.pairs_out is None,
+            recorder=recorder,
+            workers=args.workers,
+            shard_strategy=args.shard_strategy,
+            prefilter=prefilter,
+            kernel_backend=args.kernel_backend,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = result.report
     print(f"{result.num_pairs} pairs within epsilon={args.epsilon}")
     info = report.extra.get("prefilter")

@@ -54,6 +54,7 @@ from repro.core.executor import (
     execute_clusters_sharded,
 )
 from repro.core.joiners import make_numeric_joiner, make_text_joiner, text_dp_weight
+from repro.kernels.backends import resolve_backend
 from repro.core.pm_nlj import pm_nlj_join
 from repro.core.prediction import PredictionMatrix
 from repro.core.schedule import greedy_cluster_order
@@ -294,6 +295,7 @@ def join(
     batch_pairs: Optional[int] = None,
     shard_strategy=None,
     prefilter: "None | str | PrefilterConfig" = None,
+    kernel_backend=None,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -338,6 +340,16 @@ def join(
         are bit-identical to the serial path.  Only ``sc``/``rand-sc``/
         ``cc`` shard; other methods ignore it.  See
         ``docs/execution_modes.md``.
+    kernel_backend:
+        The refinement-kernel substrate (see
+        :mod:`repro.kernels.backends`): a registered backend name
+        (``"numpy"``, ``"wavefront"``, optionally ``"numba"``), a
+        :class:`~repro.kernels.backends.KernelBackend` instance, or
+        ``None`` to fall back to the ``REPRO_KERNEL_BACKEND``
+        environment variable and then the default.  Every registered
+        backend is bit-identical on pairs, distances and counters, so
+        this only changes speed.  Unknown names raise
+        :class:`repro.errors.ConfigError` before any work starts.
     matrix_cache:
         Directory of the prediction-matrix cache.  When set, the matrix
         is loaded from the cache if a build keyed by (both datasets'
@@ -390,6 +402,9 @@ def join(
             f"prefilter requires a clustering method (sc, rand-sc, cc), "
             f"got method={method!r}"
         )
+    # Resolve eagerly: a typo'd backend (env var or kwarg) raises
+    # ConfigError here, before any pages are read.
+    backend = resolve_backend(kernel_backend)
 
     model = cost_model or DEFAULT_COST_MODEL
     rec = recorder if recorder is not None else NULL_RECORDER
@@ -398,7 +413,9 @@ def join(
     pool = BufferPool(disk, buffer_pages, policy=buffer_policy)
     pool.attach(r.paged)
     pool.attach(s.paged)
-    joiner = _make_joiner(r, s, epsilon, model, self_join, not count_only, rec)
+    joiner = _make_joiner(
+        r, s, epsilon, model, self_join, not count_only, rec, backend
+    )
 
     if method in ("ego", "bfrj", "ekdb", "zorder"):
         return _run_competitor(
@@ -560,17 +577,19 @@ def _build_or_load_matrix(
 
 
 def _make_joiner(r, s, epsilon, model, self_join, collect_pairs,
-                 recorder: Recorder = NULL_RECORDER):
+                 recorder: Recorder = NULL_RECORDER, kernel_backend=None):
     if r.kind == "text":
         assert r.features is not None and s.features is not None
         return make_text_joiner(
             r.paged, s.paged, r.features, s.features, epsilon, model, self_join,
             collect_pairs=collect_pairs, recorder=recorder,
+            kernel_backend=kernel_backend,
         )
     assert r.distance is not None
     return make_numeric_joiner(
         r.paged, s.paged, r.distance, epsilon, model, self_join,
         collect_pairs=collect_pairs, recorder=recorder,
+        kernel_backend=kernel_backend,
     )
 
 

@@ -35,13 +35,10 @@ import numpy as np
 from repro.costmodel import CostModel
 from repro.distance.dtw import DTWDistance
 from repro.distance.vector import MinkowskiDistance
-from repro.kernels.dtw import batch_envelopes, dtw_batch, lb_keogh_panel
+from repro.kernels.backends import resolve_backend
+from repro.kernels.dtw import dtw_batch
 from repro.kernels.edit import edit_batch
-from repro.kernels.minkowski import (
-    _BLOCK_CELL_BUDGET,
-    euclidean_gram_panel,
-    minkowski_refine,
-)
+from repro.kernels.minkowski import _BLOCK_CELL_BUDGET, minkowski_refine
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.page import PageBlock, PagedDataset, SequencePagedDataset
 
@@ -288,6 +285,7 @@ class NumericPagePairJoiner(PagePairJoiner):
         self_join: bool,
         collect_pairs: bool = True,
         recorder: Recorder = NULL_RECORDER,
+        kernel_backend=None,
     ) -> None:
         self.r_dataset = r_dataset
         self.s_dataset = s_dataset
@@ -297,9 +295,12 @@ class NumericPagePairJoiner(PagePairJoiner):
         self.self_join = self_join
         self.collect_pairs = collect_pairs
         self.recorder = recorder
+        self.kernel_backend = resolve_backend(kernel_backend)
         # Third-party JoinDistance implementations may predate the recorder
-        # protocol; probe once at construction time, not per page pair.
-        self._forward_recorder = _accepts_recorder(distance.pairs_within)
+        # protocol (or the kernel-backend one); probe once at construction
+        # time, not per page pair.
+        self._forward_recorder = _accepts_kw(distance.pairs_within, "recorder")
+        self._forward_backend = _accepts_kw(distance.pairs_within, "kernel_backend")
         # The fused cascade is specific to the built-in distance families;
         # anything else (or a dataset without columnar views) joins per pair.
         self.supports_megabatch = isinstance(
@@ -315,12 +316,12 @@ class NumericPagePairJoiner(PagePairJoiner):
         left = np.asarray(r_payload)
         right = np.asarray(s_payload)
         with recorder.span("execute.refine"):
+            kwargs = {}
             if self._forward_recorder:
-                local = self.distance.pairs_within(
-                    left, right, self.epsilon, recorder=recorder
-                )
-            else:
-                local = self.distance.pairs_within(left, right, self.epsilon)
+                kwargs["recorder"] = recorder
+            if self._forward_backend:
+                kwargs["kernel_backend"] = self.kernel_backend
+            local = self.distance.pairs_within(left, right, self.epsilon, **kwargs)
             comparisons = left.shape[0] * right.shape[0]
             cpu = self.cost_model.cpu_cost(comparisons, self.distance.comparison_weight)
             if self.self_join and row == col:
@@ -342,7 +343,11 @@ class NumericPagePairJoiner(PagePairJoiner):
                 f"mega-batch cascade is not supported for {self.distance!r}"
             )
         recorder = self.recorder
-        with recorder.span("execute.megabatch", entries=len(entries)):
+        with recorder.span(
+            "execute.megabatch",
+            entries=len(entries),
+            kernel_backend=self.kernel_backend.name,
+        ):
             block = _ClusterBlock(
                 entries, self.r_dataset, self.s_dataset, self.self_join
             )
@@ -382,7 +387,7 @@ class NumericPagePairJoiner(PagePairJoiner):
             right_sq = np.einsum("jd,jd->j", right, right)
 
             def gram_filter(sl: slice, panel_j: np.ndarray) -> np.ndarray:
-                return euclidean_gram_panel(
+                return self.kernel_backend.euclidean_gram_panel(
                     left[sl], right[panel_j], left_sq[sl], right_sq[panel_j],
                     eps,
                 )
@@ -415,10 +420,14 @@ class NumericPagePairJoiner(PagePairJoiner):
         left = block.r_block.objects
         right = block.s_block.objects
         recorder = self.recorder
-        lowers, uppers = batch_envelopes(right, band)
+        backend = self.kernel_backend
+        lowers, uppers = backend.batch_envelopes(right, band)
 
         def keogh_filter(sl: slice, panel_j: np.ndarray) -> np.ndarray:
-            return lb_keogh_panel(left[sl], lowers[panel_j], uppers[panel_j]) <= eps
+            return (
+                backend.lb_keogh_panel(left[sl], lowers[panel_j], uppers[panel_j])
+                <= eps
+            )
 
         cand_i, cand_j, rank = block.filtered_cells(keogh_filter)
         extra: List[Tuple[str, int]] = []
@@ -430,7 +439,8 @@ class NumericPagePairJoiner(PagePairJoiner):
         if cand_i.shape[0] == 0:
             return cand_i, cand_j, rank, extra
         dists = dtw_batch(
-            left[cand_i], right[cand_j], band, max_dist=eps, recorder=recorder
+            left[cand_i], right[cand_j], band, max_dist=eps, recorder=recorder,
+            backend=backend,
         )
         keep = dists <= eps
         return cand_i[keep], cand_j[keep], rank[keep], extra
@@ -445,6 +455,7 @@ def make_numeric_joiner(
     self_join: bool,
     collect_pairs: bool = True,
     recorder: Recorder = NULL_RECORDER,
+    kernel_backend=None,
 ) -> NumericPagePairJoiner:
     """Joiner for vector pages (point, spatial, time-series windows)."""
     return NumericPagePairJoiner(
@@ -456,13 +467,14 @@ def make_numeric_joiner(
         self_join,
         collect_pairs=collect_pairs,
         recorder=recorder,
+        kernel_backend=kernel_backend,
     )
 
 
-def _accepts_recorder(pairs_within: Callable) -> bool:
-    """True when a distance's ``pairs_within`` takes a ``recorder``."""
+def _accepts_kw(pairs_within: Callable, name: str) -> bool:
+    """True when a distance's ``pairs_within`` takes keyword ``name``."""
     try:
-        return "recorder" in inspect.signature(pairs_within).parameters
+        return name in inspect.signature(pairs_within).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
 
@@ -494,6 +506,7 @@ class TextPagePairJoiner(PagePairJoiner):
         self_join: bool,
         collect_pairs: bool = True,
         recorder: Recorder = NULL_RECORDER,
+        kernel_backend=None,
     ) -> None:
         self.r_dataset = r_dataset
         self.s_dataset = s_dataset
@@ -504,6 +517,7 @@ class TextPagePairJoiner(PagePairJoiner):
         self.self_join = self_join
         self.collect_pairs = collect_pairs
         self.recorder = recorder
+        self.kernel_backend = resolve_backend(kernel_backend)
         self.dp_weight = text_dp_weight(r_dataset.window_length, epsilon)
         self.limit = int(epsilon)
         self.w = r_dataset.window_length
@@ -562,6 +576,7 @@ class TextPagePairJoiner(PagePairJoiner):
                             self.windows_s[s_start + rej_b],
                             self.limit,
                             recorder=recorder,
+                            backend=self.kernel_backend,
                         )
                         survived = dists <= epsilon
                         for a, b in zip(
@@ -591,7 +606,11 @@ class TextPagePairJoiner(PagePairJoiner):
     def join_cluster(self, entries: Sequence[Entry]) -> List[JoinerResult]:
         recorder = self.recorder
         epsilon = self.epsilon
-        with recorder.span("execute.megabatch", entries=len(entries)):
+        with recorder.span(
+            "execute.megabatch",
+            entries=len(entries),
+            kernel_backend=self.kernel_backend.name,
+        ):
             block = _ClusterBlock(
                 entries, self.r_dataset, self.s_dataset, self.self_join
             )
@@ -662,6 +681,7 @@ class TextPagePairJoiner(PagePairJoiner):
                             W_right[cand_j[rej_idx]],
                             self.limit,
                             recorder=recorder,
+                            backend=self.kernel_backend,
                         )
                         survived[rej_idx] = dists <= epsilon
 
@@ -713,6 +733,7 @@ def make_text_joiner(
     self_join: bool,
     collect_pairs: bool = True,
     recorder: Recorder = NULL_RECORDER,
+    kernel_backend=None,
 ) -> TextPagePairJoiner:
     """Joiner for string windows: frequency filter, then banded DP."""
     return TextPagePairJoiner(
@@ -725,6 +746,7 @@ def make_text_joiner(
         self_join,
         collect_pairs=collect_pairs,
         recorder=recorder,
+        kernel_backend=kernel_backend,
     )
 
 

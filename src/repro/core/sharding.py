@@ -123,6 +123,9 @@ def _joiner_recipe(joiner, arena: ShmArena) -> Dict[str, Any]:
         "cost_model": joiner.cost_model,
         "self_join": joiner.self_join,
         "collect_pairs": joiner.collect_pairs,
+        # Ship the backend by *name*: backend objects may hold compiled
+        # state, and workers re-resolve against their own registry.
+        "kernel_backend": joiner.kernel_backend.name,
     }
     if isinstance(joiner, NumericPagePairJoiner):
         return {"kind": "numeric", "distance": joiner.distance, **common}
@@ -240,6 +243,7 @@ def _rebuild_joiner(
             recipe["self_join"],
             collect_pairs=recipe["collect_pairs"],
             recorder=recorder,
+            kernel_backend=recipe["kernel_backend"],
         )
     return TextPagePairJoiner(
         r_dataset,
@@ -251,4 +255,5 @@ def _rebuild_joiner(
         recipe["self_join"],
         collect_pairs=recipe["collect_pairs"],
         recorder=recorder,
+        kernel_backend=recipe["kernel_backend"],
     )

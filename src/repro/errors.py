@@ -1,10 +1,18 @@
 """Package-wide exception types."""
 
-__all__ = ["ReproError", "InfeasibleBufferError"]
+__all__ = ["ReproError", "ConfigError", "InfeasibleBufferError"]
 
 
 class ReproError(Exception):
     """Base class for errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration — e.g. an unknown kernel backend name.
+
+    Raised eagerly, before any work starts, so a typo'd environment
+    variable or CLI flag fails loudly instead of surfacing mid-join.
+    """
 
 
 class InfeasibleBufferError(ReproError):

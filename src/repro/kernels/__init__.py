@@ -20,8 +20,25 @@ Modules
     batched banded DP with shared early abandon.
 ``edit``
     Batched banded Levenshtein DP over byte-encoded window pairs.
+``wavefront``
+    Anti-diagonal rewrites of the DTW/edit DPs — batch × diagonal
+    vectorisation, bit-identical to the row kernels.
+``backends``
+    The pluggable backend registry (``numpy`` / ``wavefront`` /
+    optional ``numba``) selected via ``REPRO_KERNEL_BACKEND``,
+    ``join(..., kernel_backend=...)``, or ``--kernel-backend``.
 """
 
+from repro.kernels.backends import (
+    DEFAULT_KERNEL_BACKEND,
+    KERNEL_BACKEND_ENV,
+    KernelBackend,
+    get_backend,
+    numba_available,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from repro.kernels.dtw import batch_envelopes, dtw_batch, lb_keogh_block
 from repro.kernels.edit import edit_batch, encode_strings
 from repro.kernels.minkowski import minkowski_pairs, minkowski_pairwise
@@ -34,4 +51,12 @@ __all__ = [
     "encode_strings",
     "minkowski_pairs",
     "minkowski_pairwise",
+    "KernelBackend",
+    "DEFAULT_KERNEL_BACKEND",
+    "KERNEL_BACKEND_ENV",
+    "register_backend",
+    "registered_backends",
+    "get_backend",
+    "resolve_backend",
+    "numba_available",
 ]

@@ -1,0 +1,153 @@
+"""Optional ``@njit``-compiled kernel backend (requires ``repro[numba]``).
+
+Importing this module raises ``ImportError`` when numba is absent;
+``repro.kernels.backends`` catches that and simply skips registration,
+so the rest of the package never notices.
+
+The compiled kernels run the banded DPs per pair as tight scalar loops
+— the form JIT compilation rewards — performing the identical float64
+(int32 for edit) operations in the identical order as the scalar
+references, including the band row-minimum early abandon and the
+``max_dist + 1`` sentinel, so results and abandon counts are
+bit-identical to the ``numpy`` oracle (numba's default compilation is
+strict IEEE; ``fastmath`` is deliberately not enabled).
+
+The panel filters (envelopes, LB_Keogh, Gram) are *not* recompiled:
+they are already single fused numpy/BLAS array operations with no
+interpreter-bound inner loop, and reusing the shared implementations
+keeps their pairwise-summation rounding — and therefore the candidate
+sets and every counter — trivially identical across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numba import njit
+
+from repro.kernels.backends import KernelBackend
+
+__all__ = ["NumbaKernelBackend"]
+
+
+@njit(cache=True)
+def _dtw_chunk_njit(a, b, band, max_dist, use_limit):  # pragma: no cover - needs numba
+    k, w = a.shape
+    out = np.empty(k)
+    abandoned = 0
+    limit_sq = max_dist * max_dist
+    prev = np.empty(w + 1)
+    cur = np.empty(w + 1)
+    for p in range(k):
+        for j in range(w + 1):
+            prev[j] = np.inf
+        prev[0] = 0.0
+        dead = False
+        for i in range(1, w + 1):
+            for j in range(w + 1):
+                cur[j] = np.inf
+            j_lo = max(1, i - band)
+            j_hi = min(w, i + band)
+            ai = a[p, i - 1]
+            row_min = np.inf
+            for j in range(j_lo, j_hi + 1):
+                gap = ai - b[p, j - 1]
+                best_prev = prev[j]
+                if prev[j - 1] < best_prev:
+                    best_prev = prev[j - 1]
+                if cur[j - 1] < best_prev:
+                    best_prev = cur[j - 1]
+                cell = gap * gap + best_prev
+                cur[j] = cell
+                if cell < row_min:
+                    row_min = cell
+            if use_limit and row_min > limit_sq:
+                out[p] = max_dist + 1.0
+                abandoned += 1
+                dead = True
+                break
+            for j in range(w + 1):
+                prev[j] = cur[j]
+        if not dead:
+            result = np.sqrt(prev[w])
+            if use_limit and result > max_dist:
+                result = max_dist + 1.0
+            out[p] = result
+    return out, abandoned
+
+
+@njit(cache=True)
+def _edit_chunk_njit(a, b, max_dist):  # pragma: no cover - needs numba
+    k, w = a.shape
+    band = max_dist
+    big = np.int32(2 * w + 1)
+    sentinel = float(max_dist) + 1.0
+    out = np.empty(k)
+    abandoned = 0
+    if w == 0:
+        for p in range(k):
+            out[p] = 0.0
+        return out, abandoned
+    prev = np.empty(w + 1, dtype=np.int32)
+    cur = np.empty(w + 1, dtype=np.int32)
+    for p in range(k):
+        for j in range(w + 1):
+            prev[j] = j if j <= min(w, band) else big
+        dead = False
+        for i in range(1, w + 1):
+            for j in range(w + 1):
+                cur[j] = big
+            j_lo = max(1, i - band)
+            j_hi = min(w, i + band)
+            if i <= band:
+                cur[0] = i
+                row_min = np.int32(i)
+            else:
+                row_min = big
+            ai = a[p, i - 1]
+            for j in range(j_lo, j_hi + 1):
+                cost = np.int32(1) if ai != b[p, j - 1] else np.int32(0)
+                best = prev[j - 1] + cost
+                if prev[j] + 1 < best:
+                    best = prev[j] + 1
+                if cur[j - 1] + 1 < best:
+                    best = cur[j - 1] + 1
+                cur[j] = best
+                if best < row_min:
+                    row_min = best
+            if row_min > max_dist:
+                out[p] = sentinel
+                abandoned += 1
+                dead = True
+                break
+            for j in range(w + 1):
+                prev[j] = cur[j]
+        if not dead:
+            result = float(prev[w])
+            if result > max_dist:
+                result = sentinel
+            out[p] = result
+    return out, abandoned
+
+
+class NumbaKernelBackend(KernelBackend):
+    """``@njit`` per-pair DP recurrences; panels stay on the shared path."""
+
+    name = "numba"
+
+    def dtw_chunk(
+        self, a: np.ndarray, b: np.ndarray, band: int, max_dist: Optional[float]
+    ) -> Tuple[np.ndarray, int]:
+        a = np.ascontiguousarray(a)
+        b = np.ascontiguousarray(b)
+        if max_dist is None:
+            return _dtw_chunk_njit(a, b, band, 0.0, False)
+        return _dtw_chunk_njit(a, b, band, float(max_dist), True)
+
+    def edit_chunk(
+        self, a: np.ndarray, b: np.ndarray, max_dist: int
+    ) -> Tuple[np.ndarray, int]:
+        return _edit_chunk_njit(
+            np.ascontiguousarray(a), np.ascontiguousarray(b), int(max_dist)
+        )

@@ -107,6 +107,7 @@ def dtw_batch(
     band: int,
     max_dist: float | None = None,
     recorder: Recorder = NULL_RECORDER,
+    backend=None,
 ) -> np.ndarray:
     """Banded DTW of ``K`` aligned window pairs: ``a[k]`` vs ``b[k]``.
 
@@ -114,8 +115,17 @@ def dtw_batch(
     page-pair case — every window of a sequence join has the same
     length).  Returns a ``(K,)`` float64 array bit-identical to calling
     :func:`repro.distance.dtw.dtw_distance` per pair, including the
-    ``max_dist + 1`` early-abandon sentinel.
+    ``max_dist + 1`` early-abandon sentinel.  ``backend`` selects the
+    chunk kernel substrate (a name, a
+    :class:`repro.kernels.backends.KernelBackend`, or ``None`` for the
+    environment/default selection); every registered backend is
+    bit-identical, so the choice never changes results or counters
+    other than the per-backend invocation counter.
     """
+    # Imported lazily: backends.py imports this module for the oracle.
+    from repro.kernels.backends import resolve_backend
+
+    kb = resolve_backend(backend)
     a_arr = np.atleast_2d(np.asarray(a, dtype=np.float64))
     b_arr = np.atleast_2d(np.asarray(b, dtype=np.float64))
     if band < 0:
@@ -133,7 +143,7 @@ def dtw_batch(
     abandoned = 0
     for start in range(0, a_arr.shape[0], _CHUNK_PAIRS):
         stop = start + _CHUNK_PAIRS
-        out[start:stop], retired = _dtw_chunk(
+        out[start:stop], retired = kb.dtw_chunk(
             a_arr[start:stop], b_arr[start:stop], band, max_dist
         )
         abandoned += retired
@@ -141,6 +151,7 @@ def dtw_batch(
         recorder.count("kernel.dtw.invocations")
         recorder.count("kernel.dtw.pairs", int(a_arr.shape[0]))
         recorder.count("kernel.dtw.abandoned", abandoned)
+        recorder.count(f"kernel.backend.{kb.name}.dtw.invocations")
     return out
 
 

@@ -43,14 +43,21 @@ def edit_batch(
     b: np.ndarray,
     max_dist: int,
     recorder: Recorder = NULL_RECORDER,
+    backend=None,
 ) -> np.ndarray:
     """Banded edit distance of ``K`` aligned equal-length string pairs.
 
     ``a`` and ``b`` are ``(K, w)`` uint8 code matrices (see
     :func:`encode_strings`).  Returns a ``(K,)`` float64 array equal to
     calling :func:`repro.distance.edit.edit_distance` per pair with
-    ``max_dist`` as the threshold, sentinel included.
+    ``max_dist`` as the threshold, sentinel included.  ``backend``
+    selects the chunk kernel substrate (see
+    :mod:`repro.kernels.backends`); all backends are bit-identical.
     """
+    # Imported lazily: backends.py imports this module for the oracle.
+    from repro.kernels.backends import resolve_backend
+
+    kb = resolve_backend(backend)
     a_arr = np.atleast_2d(np.asarray(a))
     b_arr = np.atleast_2d(np.asarray(b))
     if a_arr.shape != b_arr.shape:
@@ -66,7 +73,7 @@ def edit_batch(
     abandoned = 0
     for start in range(0, a_arr.shape[0], _CHUNK_PAIRS):
         stop = start + _CHUNK_PAIRS
-        out[start:stop], retired = _edit_chunk(
+        out[start:stop], retired = kb.edit_chunk(
             a_arr[start:stop], b_arr[start:stop], max_dist
         )
         abandoned += retired
@@ -74,6 +81,7 @@ def edit_batch(
         recorder.count("kernel.edit.invocations")
         recorder.count("kernel.edit.pairs", int(a_arr.shape[0]))
         recorder.count("kernel.edit.abandoned", abandoned)
+        recorder.count(f"kernel.backend.{kb.name}.edit.invocations")
     return out
 
 

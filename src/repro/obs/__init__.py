@@ -13,6 +13,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.recorder import (
+    BACKEND_VARIANT_COUNTER_PREFIXES,
     BATCHING_VARIANT_COUNTERS,
     NULL_RECORDER,
     PREFILTER_VARIANT_COUNTER_PREFIXES,
@@ -29,6 +30,7 @@ __all__ = [
     "BATCHING_VARIANT_COUNTERS",
     "SHARDING_VARIANT_COUNTER_PREFIXES",
     "PREFILTER_VARIANT_COUNTER_PREFIXES",
+    "BACKEND_VARIANT_COUNTER_PREFIXES",
     "Recorder",
     "NullRecorder",
     "InMemoryRecorder",

@@ -46,6 +46,7 @@ __all__ = [
     "BATCHING_VARIANT_COUNTERS",
     "SHARDING_VARIANT_COUNTER_PREFIXES",
     "PREFILTER_VARIANT_COUNTER_PREFIXES",
+    "BACKEND_VARIANT_COUNTER_PREFIXES",
 ]
 
 # Counters that measure *how* work was batched rather than *what* work
@@ -82,6 +83,17 @@ SHARDING_VARIANT_COUNTER_PREFIXES = ("executor.shard",)
 # the *same* prefilter setting these counters are NOT variant: worker
 # shards' ``prefilter.*`` sums equal the serial totals.
 PREFILTER_VARIANT_COUNTER_PREFIXES = ("prefilter.",)
+
+# Counter-name prefix for per-backend kernel attribution
+# (``kernel.backend.<name>.dtw.invocations`` etc., recorded by
+# ``dtw_batch``/``edit_batch`` alongside the backend-agnostic totals).
+# Invocation counts depend on batching granularity exactly like
+# :data:`BATCHING_VARIANT_COUNTERS`, and the backend *name* inside the
+# counter differs between runs pinned to different backends, so
+# equivalence checks across batching modes or backends must drop this
+# prefix.  Between serial and sharded runs of the *same* configuration
+# these counters are NOT variant: shard sums equal the serial totals.
+BACKEND_VARIANT_COUNTER_PREFIXES = ("kernel.backend.",)
 
 
 class Span:

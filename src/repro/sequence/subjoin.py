@@ -56,6 +56,7 @@ def subsequence_join(
     recorder: Optional[Recorder] = None,
     batch_pairs: Optional[int] = None,
     prefilter=None,
+    kernel_backend=None,
 ) -> SubsequenceJoinResult:
     """Find all window pairs of length ``window_length`` within ``epsilon``.
 
@@ -101,6 +102,7 @@ def subsequence_join(
         recorder=recorder,
         batch_pairs=batch_pairs,
         prefilter=prefilter,
+        kernel_backend=kernel_backend,
     )
     return SubsequenceJoinResult(
         offsets=result.pairs,

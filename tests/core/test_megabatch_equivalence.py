@@ -12,7 +12,11 @@ import pytest
 
 from repro.core.join import IndexedDataset, join
 from repro.datasets import markov_dna
-from repro.obs import BATCHING_VARIANT_COUNTERS, InMemoryRecorder
+from repro.obs import (
+    BACKEND_VARIANT_COUNTER_PREFIXES,
+    BATCHING_VARIANT_COUNTERS,
+    InMemoryRecorder,
+)
 from repro.sequence.subjoin import subsequence_join
 
 
@@ -22,6 +26,7 @@ def _semantic_counters(recorder: InMemoryRecorder) -> dict:
         name: value
         for name, value in counters.items()
         if name not in BATCHING_VARIANT_COUNTERS
+        and not name.startswith(BACKEND_VARIANT_COUNTER_PREFIXES)
     }
 
 

@@ -16,6 +16,7 @@ import pytest
 from repro.core.join import IndexedDataset, join
 from repro.datasets import markov_dna
 from repro.obs import (
+    BACKEND_VARIANT_COUNTER_PREFIXES,
     BATCHING_VARIANT_COUNTERS,
     PREFILTER_VARIANT_COUNTER_PREFIXES,
     SHARDING_VARIANT_COUNTER_PREFIXES,
@@ -32,6 +33,7 @@ def _semantic_counters(recorder: InMemoryRecorder) -> dict:
         if name not in BATCHING_VARIANT_COUNTERS
         and not name.startswith(SHARDING_VARIANT_COUNTER_PREFIXES)
         and not name.startswith(PREFILTER_VARIANT_COUNTER_PREFIXES)
+        and not name.startswith(BACKEND_VARIANT_COUNTER_PREFIXES)
     }
 
 

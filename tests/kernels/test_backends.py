@@ -1,0 +1,179 @@
+"""Kernel-backend registry: selection precedence, eager validation,
+and the optional-numba registration contract (ISSUE 8 tentpole +
+satellites 1/2).
+
+The registry is the single switch point for the refinement kernel
+substrate: ``REPRO_KERNEL_BACKEND`` < ``join(kernel_backend=)`` <
+``--kernel-backend``.  Unknown names must fail with
+:class:`repro.errors.ConfigError` *before* any pages are read, and the
+message must list what IS registered so the typo is a one-look fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, IndexedDataset, join
+from repro.kernels.backends import (
+    DEFAULT_KERNEL_BACKEND,
+    KERNEL_BACKEND_ENV,
+    KernelBackend,
+    NumpyKernelBackend,
+    WavefrontKernelBackend,
+    get_backend,
+    numba_available,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = registered_backends()
+        assert "numpy" in names
+        assert "wavefront" in names
+
+    def test_get_backend_returns_named_singleton(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("numpy").name == "numpy"
+        assert isinstance(get_backend("numpy"), NumpyKernelBackend)
+        assert isinstance(get_backend("wavefront"), WavefrontKernelBackend)
+
+    def test_unknown_backend_raises_config_error_listing_registered(self):
+        with pytest.raises(ConfigError) as excinfo:
+            get_backend("fortran")
+        message = str(excinfo.value)
+        assert "fortran" in message
+        assert "numpy" in message
+        assert "wavefront" in message
+
+    def test_optional_backend_hint_when_absent(self):
+        if numba_available():
+            pytest.skip("numba installed; the miss hint is unreachable")
+        with pytest.raises(ConfigError) as excinfo:
+            get_backend("numba")
+        assert "numba" in str(excinfo.value)
+        assert "optional" in str(excinfo.value)
+
+    def test_cupy_recipe_hint(self):
+        with pytest.raises(ConfigError) as excinfo:
+            get_backend("cupy")
+        assert "recipe" in str(excinfo.value)
+
+    def test_duplicate_registration_requires_overwrite(self):
+        with pytest.raises(ConfigError):
+            register_backend(NumpyKernelBackend())
+        # Overwrite restores the original singleton to keep the
+        # registry exactly as the other tests expect.
+        original = get_backend("numpy")
+        register_backend(original, overwrite=True)
+        assert get_backend("numpy") is original
+
+
+class TestResolvePrecedence:
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name == DEFAULT_KERNEL_BACKEND
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_kwarg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+        assert resolve_backend("wavefront").name == "wavefront"
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "")
+        assert resolve_backend(None).name == DEFAULT_KERNEL_BACKEND
+
+    def test_instance_passthrough(self):
+        backend = get_backend("numpy")
+        assert resolve_backend(backend) is backend
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "no-such-backend")
+        with pytest.raises(ConfigError):
+            resolve_backend(None)
+
+
+class TestJoinValidation:
+    """join() must reject a bad backend eagerly, before touching pages."""
+
+    @pytest.fixture(scope="class")
+    def datasets(self):
+        rng = np.random.default_rng(3)
+        r = IndexedDataset.from_points(rng.random((60, 2)), page_capacity=8)
+        s = IndexedDataset.from_points(rng.random((40, 2)), page_capacity=8)
+        return r, s
+
+    def test_unknown_kernel_backend_fails_fast(self, datasets):
+        r, s = datasets
+        with pytest.raises(ConfigError, match="registered backends"):
+            join(r, s, 0.05, buffer_pages=10, kernel_backend="typo")
+
+    def test_named_backends_give_identical_results(self, datasets):
+        r, s = datasets
+        by_name = {
+            name: join(r, s, 0.05, buffer_pages=10, kernel_backend=name)
+            for name in ("numpy", "wavefront")
+        }
+        assert by_name["numpy"].pairs == by_name["wavefront"].pairs
+
+    def test_env_var_selection(self, datasets, monkeypatch):
+        r, s = datasets
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "nonexistent")
+        with pytest.raises(ConfigError):
+            join(r, s, 0.05, buffer_pages=10)
+
+
+class TestNumbaBackend:
+    """Runs only where the optional dependency is installed (CI extra)."""
+
+    pytestmark = pytest.mark.skipif(
+        not numba_available(), reason="optional numba dependency not installed"
+    )
+
+    def test_numba_registered(self):
+        assert "numba" in registered_backends()
+
+    def test_numba_dtw_bitwise_vs_numpy(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(40, 24))
+        b = a + rng.normal(scale=0.3, size=a.shape)
+        oracle = get_backend("numpy")
+        candidate = get_backend("numba")
+        for max_dist in (None, 0.0, 2.5):
+            expected = oracle.dtw_chunk(a, b, 3, max_dist)
+            got = candidate.dtw_chunk(a, b, 3, max_dist)
+            assert np.array_equal(got[0], expected[0])
+            assert got[1] == expected[1]
+
+    def test_numba_edit_bitwise_vs_numpy(self):
+        rng = np.random.default_rng(12)
+        a = rng.integers(0, 4, size=(30, 16)).astype(np.uint8)
+        b = rng.integers(0, 4, size=(30, 16)).astype(np.uint8)
+        oracle = get_backend("numpy")
+        candidate = get_backend("numba")
+        for limit in (0, 2, 7):
+            expected = oracle.edit_chunk(a, b, limit)
+            got = candidate.edit_chunk(a, b, limit)
+            assert np.array_equal(got[0], expected[0])
+            assert got[1] == expected[1]
+
+
+class TestPanelHooks:
+    """Default panel hooks delegate to the shared numpy implementations,
+    so every backend filters identical candidate sets."""
+
+    def test_custom_backend_inherits_panels(self):
+        class Stub(KernelBackend):
+            name = "stub-test-only"
+
+        rng = np.random.default_rng(5)
+        windows = rng.normal(size=(6, 12))
+        stub, reference = Stub(), get_backend("numpy")
+        lo_s, hi_s = stub.batch_envelopes(windows, 2)
+        lo_r, hi_r = reference.batch_envelopes(windows, 2)
+        assert np.array_equal(lo_s, lo_r)
+        assert np.array_equal(hi_s, hi_r)

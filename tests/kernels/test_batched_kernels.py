@@ -25,7 +25,12 @@ from repro.kernels import (
     encode_strings,
     minkowski_pairs,
     minkowski_pairwise,
+    registered_backends,
 )
+
+# Every registered backend must pass the bit-identity suite — numba
+# joins the list automatically when its optional dependency is present.
+BACKENDS = sorted(registered_backends())
 
 finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
 
@@ -57,25 +62,27 @@ def dna_blocks(draw):
 
 
 class TestDtwBatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @given(window_pair_blocks(), st.integers(min_value=0, max_value=6))
     @settings(max_examples=60, deadline=None)
-    def test_unbounded_matches_scalar_bitwise(self, block, band):
+    def test_unbounded_matches_scalar_bitwise(self, backend, block, band):
         a, b = block
-        batched = dtw_batch(a, b, band)
+        batched = dtw_batch(a, b, band, backend=backend)
         scalar = np.array(
             [dtw_distance(a[k], b[k], band) for k in range(a.shape[0])]
         )
         assert np.array_equal(batched, scalar)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @given(
         window_pair_blocks(),
         st.integers(min_value=0, max_value=6),
         st.floats(min_value=0, max_value=30, allow_nan=False),
     )
     @settings(max_examples=60, deadline=None)
-    def test_early_abandon_matches_scalar_bitwise(self, block, band, max_dist):
+    def test_early_abandon_matches_scalar_bitwise(self, backend, block, band, max_dist):
         a, b = block
-        batched = dtw_batch(a, b, band, max_dist=max_dist)
+        batched = dtw_batch(a, b, band, max_dist=max_dist, backend=backend)
         scalar = np.array(
             [dtw_distance(a[k], b[k], band, max_dist=max_dist) for k in range(a.shape[0])]
         )
@@ -90,11 +97,12 @@ class TestDtwBatch:
         below = np.nextafter(true, 0.0)
         assert dtw_batch(a, b, 1, max_dist=below)[0] == below + 1.0
 
-    def test_chunking_boundary(self, rng, monkeypatch):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chunking_boundary(self, rng, monkeypatch, backend):
         monkeypatch.setattr(kdtw, "_CHUNK_PAIRS", 3)
         a = rng.normal(size=(10, 6))
         b = rng.normal(size=(10, 6))
-        chunked = dtw_batch(a, b, 2, max_dist=2.0)
+        chunked = dtw_batch(a, b, 2, max_dist=2.0, backend=backend)
         scalar = np.array([dtw_distance(a[k], b[k], 2, max_dist=2.0) for k in range(10)])
         assert np.array_equal(chunked, scalar)
 
@@ -119,11 +127,14 @@ class TestDtwBatch:
 
 
 class TestEditBatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @given(dna_blocks(), st.integers(min_value=0, max_value=8))
     @settings(max_examples=80, deadline=None)
-    def test_matches_scalar_bitwise(self, block, limit):
+    def test_matches_scalar_bitwise(self, backend, block, limit):
         left, right = block
-        batched = edit_batch(encode_strings(left), encode_strings(right), limit)
+        batched = edit_batch(
+            encode_strings(left), encode_strings(right), limit, backend=backend
+        )
         scalar = np.array(
             [edit_distance(s, t, max_dist=limit) for s, t in zip(left, right)]
         )
@@ -140,11 +151,14 @@ class TestEditBatch:
         other = encode_strings(["ACGT", "ACGA"])
         assert edit_batch(codes, other, 0).tolist() == [0.0, 1.0]
 
-    def test_chunking_boundary(self, monkeypatch):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chunking_boundary(self, monkeypatch, backend):
         monkeypatch.setattr(kedit, "_CHUNK_PAIRS", 2)
         left = ["ACGTAC", "TTTTTT", "ACGTTT", "GGGGGG", "ACGTAA"]
         right = ["ACGTAC", "TTTTAA", "TTTTTT", "GGGGCC", "AAGTAA"]
-        batched = edit_batch(encode_strings(left), encode_strings(right), 3)
+        batched = edit_batch(
+            encode_strings(left), encode_strings(right), 3, backend=backend
+        )
         scalar = np.array([edit_distance(s, t, max_dist=3) for s, t in zip(left, right)])
         assert np.array_equal(batched, scalar)
 
