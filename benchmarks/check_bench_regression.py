@@ -63,6 +63,13 @@ PREFILTER_MIN_SPEEDUP = 1.5
 PREFILTER_MAX_EXACT_OVERHEAD_PCT = 2.0
 PREFILTER_MIN_RECALL = 0.99
 
+# The ``observability.explain`` row is gated absolutely: with
+# ``explain`` off (the default) the dormant collector plumbing must stay
+# inside the same 2% budget the NullRecorder is held to (ISSUE 9).  The
+# explain-on overhead is recorded for honesty but not gated — it buys
+# the plan/reconciliation artifact and is allowed to cost real time.
+EXPLAIN_MAX_OFF_OVERHEAD_PCT = 2.0
+
 
 def collect_speedups(section, prefix):
     """Flatten every key named ``speedup`` under ``section`` to ``{path: value}``."""
@@ -159,6 +166,30 @@ def check_kernel_backends(path):
     return lines, failures
 
 
+def check_explain(path):
+    """Absolute explain-off overhead gate (ISSUE 9)."""
+    with open(path) as fh:
+        section = json.load(fh).get("observability", {})
+    row = section.get("explain")
+    if row is None:
+        return [], ["observability.explain: row missing from fresh results"]
+    off_pct = float(row.get("off_overhead_pct", 100.0))
+    on_pct = float(row.get("on_overhead_pct", 0.0))
+    status = "FAIL" if off_pct >= EXPLAIN_MAX_OFF_OVERHEAD_PCT else "ok"
+    lines = [
+        f"{status:4} observability.explain: off overhead {off_pct:+.2f}% "
+        f"(cap {EXPLAIN_MAX_OFF_OVERHEAD_PCT}%), on overhead {on_pct:+.2f}% "
+        f"(recorded, not gated)"
+    ]
+    failures = []
+    if off_pct >= EXPLAIN_MAX_OFF_OVERHEAD_PCT:
+        failures.append(
+            f"observability.explain: explain-off overhead {off_pct:.2f}% "
+            f"at or above the {EXPLAIN_MAX_OFF_OVERHEAD_PCT}% cap"
+        )
+    return lines, failures
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__)
@@ -191,6 +222,11 @@ def main(argv):
     for line in backend_lines:
         print(line)
     failures.extend(backend_failures)
+
+    explain_lines, explain_failures = check_explain(argv[2])
+    for line in explain_lines:
+        print(line)
+    failures.extend(explain_failures)
 
     if failures:
         print("\nBench regression detected:")

@@ -130,6 +130,15 @@ def _add_join(subcommands) -> None:
                      help="approximate prefilter's calibration target: "
                           "estimated fraction of result pairs that must "
                           "survive pruning (default 0.99)")
+    cmd.add_argument("--explain", type=Path, default=None, dest="explain_out",
+                     help="write the join's EXPLAIN artifact (plan "
+                          "snapshots + predicted-vs-observed cost "
+                          "reconciliation) to this file")
+    cmd.add_argument("--explain-format", choices=["json", "text"],
+                     default="json",
+                     help="EXPLAIN artifact format: versioned JSON "
+                          "(machine-readable, validated schema) or the "
+                          "human text report")
     cmd.add_argument("--seed", type=int, default=0)
     cmd.set_defaults(handler=_run_join)
 
@@ -185,6 +194,7 @@ def _run_join(args) -> int:
             shard_strategy=args.shard_strategy,
             prefilter=prefilter,
             kernel_backend=args.kernel_backend,
+            explain=args.explain_out is not None,
         )
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -199,6 +209,15 @@ def _run_join(args) -> int:
             f"estimated recall {info['est_recall']:.4f}"
         )
     print(report.describe())
+    if args.explain_out is not None:
+        explain = report.extra["explain"]
+        explain.save(args.explain_out, format=args.explain_format)
+        io_recon = explain.data["reconciliation"]["io"]
+        print(
+            f"explain ({args.explain_format}) written to {args.explain_out} "
+            f"(I/O residual {io_recon['residual_seconds']:+.3e}s, "
+            f"{explain.lemma_violations} lemma violations)"
+        )
     if args.pairs_out is not None:
         with open(args.pairs_out, "w") as handle:
             handle.write("left_id,right_id\n")

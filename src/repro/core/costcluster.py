@@ -127,6 +127,28 @@ class LinearDiskModelCost:
             disk.cost_model,
         )
 
+    def page_set_io(self, row_pages, col_pages) -> Tuple[int, int, float]:
+        """``(transfers, seeks, io_seconds)`` of reading a page set cold.
+
+        Prices the optimally-scheduled (sorted-order) read of the named
+        row/column pages: duplicate blocks (self-join pages named on both
+        sides) transfer once, and each maximal run of consecutive block
+        addresses costs one seek — the same accounting as
+        :meth:`SimulatedDisk.cost_of_read_set`.  This is the per-cluster
+        *cold* disk-cost prediction the EXPLAIN artifact snapshots for
+        every planned cluster.
+        """
+        rows = np.asarray(sorted(row_pages), dtype=np.int64)
+        cols = np.asarray(sorted(col_pages), dtype=np.int64)
+        blocks = np.unique(
+            np.concatenate([self.row_blocks[rows], self.col_blocks[cols]])
+        )
+        if blocks.size == 0:
+            return 0, 0, 0.0
+        transfers = int(blocks.size)
+        seeks = 1 + int(np.count_nonzero(np.diff(blocks) != 1))
+        return transfers, seeks, self.cost_model.io_cost(transfers, seeks)
+
 
 class _BlockSet:
     """The cluster's physical blocks with running transfer/seek counters.

@@ -112,8 +112,13 @@ def execute_clusters(
     workers: int = 1,
     recorder: Recorder = NULL_RECORDER,
     batch_pairs: Optional[int] = None,
+    auditor: Optional[LemmaAuditor] = None,
 ) -> ExecutionOutcome:
     """Process clusters in the given order; returns the measured outcome.
+
+    ``auditor`` overrides the Lemma auditor (the EXPLAIN layer passes a
+    record-keeping one so per-cluster bound/observed rows survive the
+    run); by default one is created whenever the recorder records.
 
     ``batch_pairs`` sets the join granularity: ``None`` (default) joins
     every marked pair of a cluster in one mega-batch cascade, ``1``
@@ -154,9 +159,8 @@ def execute_clusters(
     outcome = ExecutionOutcome()
     r_id = r_dataset.dataset_id
     s_id = s_dataset.dataset_id
-    auditor: Optional[LemmaAuditor] = (
-        LemmaAuditor(recorder) if recorder.enabled else None
-    )
+    if auditor is None and recorder.enabled:
+        auditor = LemmaAuditor(recorder)
     disk_stats = pool.disk.stats
     use_megabatch = batch_pairs != 1 and getattr(
         page_pair_join, "supports_megabatch", False
@@ -242,6 +246,8 @@ def execute_clusters_sharded(
     recorder: Recorder = NULL_RECORDER,
     batch_pairs: Optional[int] = None,
     shard_strategy="affinity",
+    auditor: Optional[LemmaAuditor] = None,
+    explain=None,
 ) -> ExecutionOutcome:
     """Process clusters with per-shard worker *processes*; same outcome.
 
@@ -289,6 +295,7 @@ def execute_clusters_sharded(
         return execute_clusters(
             ordered_clusters, pool, r_dataset, s_dataset, page_pair_join,
             workers=workers, recorder=recorder, batch_pairs=batch_pairs,
+            auditor=auditor,
         )
     # Lazy import: planner imports core.join, which imports this module.
     from repro.core.planner import ShardPlan, plan_shards
@@ -300,6 +307,8 @@ def execute_clusters_sharded(
         plan = plan_shards(
             ordered_clusters, r_dataset, s_dataset, workers, shard_strategy
         )
+    if explain is not None:
+        explain.snapshot_shards(plan)
 
     pool.attach(r_dataset)
     pool.attach(s_dataset)
@@ -321,9 +330,8 @@ def execute_clusters_sharded(
     shard_of = plan.shard_of()
     shard_reads = [0] * plan.num_shards
     shard_reused = [0] * plan.num_shards
-    auditor: Optional[LemmaAuditor] = (
-        LemmaAuditor(recorder) if recorder.enabled else None
-    )
+    if auditor is None and recorder.enabled:
+        auditor = LemmaAuditor(recorder)
     disk_stats = pool.disk.stats
     shard_payloads: List[Dict] = []
     with ShmArena() as arena:
@@ -383,14 +391,23 @@ def execute_clusters_sharded(
     # Deterministic merge: worker recorders fold in shard order, results
     # absorb in global schedule order — the serial pairs list exactly.
     results_by_index: Dict[int, List] = {}
+    shard_walls = [0.0] * plan.num_shards
     for payload in shard_payloads:
         shard_index = payload["shard_index"]
         if recorder.enabled and payload["metrics"] is not None:
             recorder.merge(payload["metrics"], span_attrs={"shard": shard_index})
         results_by_index.update(payload["results"])
+        shard_walls[shard_index] = payload.get("wall_seconds", 0.0)
     for index in range(len(ordered_clusters)):
         for result in results_by_index[index]:
             outcome.absorb(result)
+    if explain is not None:
+        shard_cells = [0] * plan.num_shards
+        for index in range(len(ordered_clusters)):
+            shard_cells[shard_of[index]] += sum(
+                result[2] for result in results_by_index[index]
+            )
+        explain.observe_shards(shard_cells, shard_walls)
 
     recorder.count("executor.shards", plan.num_shards)
     recorder.count("executor.shard.duplicated_pages", plan.duplicated_pages)

@@ -296,6 +296,7 @@ def join(
     shard_strategy=None,
     prefilter: "None | str | PrefilterConfig" = None,
     kernel_backend=None,
+    explain: bool = False,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -389,6 +390,19 @@ def join(
         and reported through ``prefilter.*`` counters.  Sketches are
         cached in ``matrix_cache`` (when set) alongside the prediction
         matrix.
+    explain:
+        When ``True``, assemble a :class:`~repro.obs.explain.JoinExplain`
+        artifact — per-stage plan snapshots (matrix, prefilter, cluster
+        disk-cost predictions, schedule savings, shard loads) reconciled
+        against the observed counters after execution, with signed
+        residuals and ``explain.residual.*`` counters — and attach it as
+        ``report.extra["explain"]``.  The predicted-vs-observed I/O
+        reconciliation closes *exactly* (zero residual) on the simulated
+        disk.  Works with every method (competitors get a reduced
+        artifact: meta + I/O reconciliation) and any recorder, including
+        the default null one.  Off by default and entirely skipped then —
+        the explain-off hot path stays under the NullRecorder overhead
+        gate.
     """
     if method not in JOIN_METHODS:
         raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
@@ -413,6 +427,28 @@ def join(
     pool = BufferPool(disk, buffer_pages, policy=buffer_policy)
     pool.attach(r.paged)
     pool.attach(s.paged)
+    collector = None
+    if explain:
+        # Attach before any accounted read so the replayed prediction
+        # covers every I/O event of the join (pool.attach reads nothing).
+        from repro.obs.explain import ExplainCollector
+
+        collector = ExplainCollector(method, model, recorder=rec)
+        collector.watch_disk(disk)
+        collector.set_meta(
+            epsilon=epsilon,
+            buffer_pages=buffer_pages,
+            workers=workers,
+            shard_strategy=(
+                shard_strategy
+                if shard_strategy is None or isinstance(shard_strategy, str)
+                else "custom-plan"
+            ),
+            self_join=self_join,
+            kind=r.kind,
+            r_pages=r.num_pages,
+            s_pages=s.num_pages,
+        )
     joiner = _make_joiner(
         r, s, epsilon, model, self_join, not count_only, rec, backend
     )
@@ -420,7 +456,7 @@ def join(
     if method in ("ego", "bfrj", "ekdb", "zorder"):
         return _run_competitor(
             method, r, s, epsilon, pool, joiner, model, self_join, not count_only,
-            rec,
+            rec, collector,
         )
 
     # Wall-clock per stage (host seconds, not simulated-model seconds);
@@ -439,6 +475,8 @@ def join(
             matrix.keep_upper_triangle()
     stage_seconds["matrix"] = matrix_span.duration
     matrix_seconds = model.cpu_cost(sweep_stats.total_operations)
+    if collector is not None:
+        collector.snapshot_matrix(matrix, sweep_stats, cache_state, matrix_seconds)
 
     prefilter_info = None
     if pf_config is not None:
@@ -467,6 +505,8 @@ def join(
             "cells_unmarked": plan.num_unmarked,
             "est_recall": plan.est_recall,
         }
+        if collector is not None:
+            collector.snapshot_prefilter(plan, pf_config.mode)
 
     preprocess_seconds = 0.0
     clusters: Optional[List[Cluster]] = None
@@ -491,21 +531,39 @@ def join(
             ordered, ordering_ops = _order_clusters(method, clusters, r, s, seed, rec)
         stage_seconds["scheduling"] = schedule_span.duration
         preprocess_seconds = model.cpu_cost(cluster_ops + ordering_ops)
+        if collector is not None:
+            disk_cost = LinearDiskModelCost.from_disk(
+                disk, r.paged.dataset_id, s.paged.dataset_id,
+                matrix.num_rows, matrix.num_cols,
+            )
+            collector.snapshot_clusters(
+                ordered, disk_cost, r.paged.dataset_id, s.paged.dataset_id
+            )
+            collector.snapshot_schedule(
+                "random" if method == "rand-sc" else "greedy-sharing",
+                ordered, r.paged.dataset_id, s.paged.dataset_id,
+            )
+        explain_auditor = collector.auditor if collector is not None else None
         with rec.span("join.execution") as exec_span:
             if shard_strategy is not None:
                 outcome = execute_clusters_sharded(
                     ordered, pool, r.paged, s.paged, joiner, workers=workers,
                     recorder=rec, batch_pairs=batch_pairs,
                     shard_strategy=shard_strategy,
+                    auditor=explain_auditor, explain=collector,
                 )
             else:
                 outcome = execute_clusters(
                     ordered, pool, r.paged, s.paged, joiner, workers=workers,
                     recorder=rec, batch_pairs=batch_pairs,
+                    auditor=explain_auditor,
                 )
         stage_seconds["execution"] = exec_span.duration
         clusters = ordered
 
+    explain_artifact = None
+    if collector is not None:
+        explain_artifact = collector.finalize(disk.stats, outcome, stage_seconds)
     report = _assemble_report(
         method, preprocess_seconds, outcome, disk, matrix_seconds=matrix_seconds,
         extra={
@@ -515,6 +573,7 @@ def join(
             "num_clusters": len(clusters) if clusters is not None else 0,
             "stage_seconds": stage_seconds,
             **({"prefilter": prefilter_info} if prefilter_info is not None else {}),
+            **({"explain": explain_artifact} if explain_artifact is not None else {}),
         },
     )
     return JoinResult(
@@ -651,7 +710,7 @@ def _order_clusters(
 
 def _run_competitor(
     method, r, s, epsilon, pool, joiner, model, self_join, collect_pairs,
-    recorder: Recorder = NULL_RECORDER,
+    recorder: Recorder = NULL_RECORDER, collector=None,
 ) -> JoinResult:
     with recorder.span("join.execution") as exec_span:
         if method == "ego":
@@ -694,13 +753,21 @@ def _run_competitor(
     # Competitors interleave their preprocessing with execution, so the
     # whole run is charged to the execution stage.
     extra = dict(extra)
-    extra["stage_seconds"] = {
+    stage_seconds = {
         "matrix": 0.0,
         "prefilter": 0.0,
         "clustering": 0.0,
         "scheduling": 0.0,
         "execution": exec_span.duration,
     }
+    extra["stage_seconds"] = stage_seconds
+    if collector is not None:
+        # Competitors plan nothing the cost model predicts up front, so
+        # the artifact reduces to meta + the I/O reconciliation (which
+        # still closes exactly — stream charges are replayed too).
+        extra["explain"] = collector.finalize(
+            pool.disk.stats, outcome, stage_seconds
+        )
     report = _assemble_report(
         method, preprocess_seconds, outcome, pool.disk, matrix_seconds=0.0, extra=extra
     )

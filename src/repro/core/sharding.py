@@ -26,6 +26,7 @@ have a picklable recipe; anything else must use the thread fallback.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.joiners import (
@@ -166,11 +167,15 @@ def run_shard(task: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: join every cluster of one shard.
 
     Returns ``{"shard_index", "results": {schedule_index: [JoinerResult]},
-    "metrics": exported recorder state or None}`` — all plain Python, so
-    the only cross-process numpy traffic is the shared segments.
+    "metrics": exported recorder state or None, "wall_seconds": float}`` —
+    all plain Python, so the only cross-process numpy traffic is the
+    shared segments.  ``wall_seconds`` is the worker-side compute wall
+    time (attach + join + export), the EXPLAIN layer's per-shard
+    balance observation.
     """
     if os.environ.get(_FAULT_ENV) == "exit" and task["shard_index"] == 0:
         os._exit(13)
+    wall_start = time.perf_counter()
     attachments = ShmAttachments()
     try:
         results, metrics = _run_shard_attached(task, attachments)
@@ -180,6 +185,7 @@ def run_shard(task: Dict[str, Any]) -> Dict[str, Any]:
         "shard_index": task["shard_index"],
         "results": results,
         "metrics": metrics,
+        "wall_seconds": time.perf_counter() - wall_start,
     }
 
 

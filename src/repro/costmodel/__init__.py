@@ -1,5 +1,5 @@
 """Deterministic disk/CPU cost model shared by every join technique."""
 
-from repro.costmodel.model import CostModel, DEFAULT_COST_MODEL
+from repro.costmodel.model import CostModel, DEFAULT_COST_MODEL, fit_cost_model
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "fit_cost_model"]

@@ -26,8 +26,9 @@ the random-access penalty rewards the paper's locality optimisations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = ["CostModel", "DEFAULT_COST_MODEL", "fit_cost_model"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +97,70 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+
+def fit_cost_model(
+    samples: Iterable[Mapping[str, float]],
+    base: CostModel | None = None,
+) -> CostModel:
+    """Regress observed stage seconds onto counted ops to suggest parameters.
+
+    Each sample is a mapping with counted ops and the seconds charged for
+    them — the shape :class:`repro.obs.explain.JoinExplain` exports as its
+    ``calibration`` section::
+
+        {"transfers": int, "seeks": int, "io_seconds": float,
+         "comparisons": float, "cpu_seconds": float}
+
+    Two independent least-squares fits are solved:
+
+    * ``io_seconds ~ transfers * transfer_s + seeks * seek_s``
+    * ``cpu_seconds ~ comparisons * cpu_compare_s``
+
+    A parameter whose system is degenerate (no samples, all-zero ops, or
+    collinear transfer/seek columns) falls back to the corresponding value
+    of ``base`` (default :data:`DEFAULT_COST_MODEL`), so calibration never
+    fails — it just declines to update what the data cannot identify.
+    Fitted values are clamped to the :class:`CostModel` validity domain
+    (``transfer_s > 0``, others ``>= 0``).
+
+    On deterministic simulated runs the fit recovers ``seek_s`` and
+    ``transfer_s`` exactly (up to float rounding) from two samples with
+    independent transfer/seek mixes.
+    """
+    import numpy as np
+
+    base = base or DEFAULT_COST_MODEL
+    rows = list(samples)
+
+    seek_s, transfer_s = base.seek_s, base.transfer_s
+    io_rows = [
+        r for r in rows
+        if float(r.get("transfers", 0)) > 0 or float(r.get("seeks", 0)) > 0
+    ]
+    if io_rows:
+        a = np.array(
+            [[float(r.get("transfers", 0)), float(r.get("seeks", 0))] for r in io_rows],
+            dtype=np.float64,
+        )
+        b = np.array([float(r.get("io_seconds", 0.0)) for r in io_rows], dtype=np.float64)
+        if np.linalg.matrix_rank(a) == 2:
+            fitted, _, _, _ = np.linalg.lstsq(a, b, rcond=None)
+            transfer_s = float(fitted[0])
+            seek_s = float(fitted[1])
+        elif np.any(a[:, 0] > 0) and not np.any(a[:, 1] > 0):
+            # Pure-sequential samples identify only the transfer rate.
+            transfer_s = float(np.sum(a[:, 0] * b) / np.sum(a[:, 0] ** 2))
+
+    cpu_compare_s = base.cpu_compare_s
+    cpu_rows = [r for r in rows if float(r.get("comparisons", 0)) > 0]
+    if cpu_rows:
+        c = np.array([float(r["comparisons"]) for r in cpu_rows], dtype=np.float64)
+        t = np.array([float(r.get("cpu_seconds", 0.0)) for r in cpu_rows], dtype=np.float64)
+        cpu_compare_s = float(np.sum(c * t) / np.sum(c * c))
+
+    return CostModel(
+        seek_s=max(seek_s, 0.0),
+        transfer_s=transfer_s if transfer_s > 0 else base.transfer_s,
+        cpu_compare_s=max(cpu_compare_s, 0.0),
+    )

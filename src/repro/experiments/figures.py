@@ -298,6 +298,7 @@ def figure10(
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
     recorder=None,
+    explain: bool = False,
 ) -> CostBreakdownResult:
     """Figure 10: cost breakdown, LBeach × MCounty.
 
@@ -317,6 +318,7 @@ def figure10(
         cost_model=cost_model,
         seed=seed,
         recorder=recorder,
+        explain=explain,
     )
     return CostBreakdownResult("Figure 10 (LBeach x MCounty)", runs, PAPER_FIGURE10)
 
@@ -327,6 +329,7 @@ def figure11(
     cost_model: Optional[CostModel] = None,
     seed: int = 0,
     recorder=None,
+    explain: bool = False,
 ) -> CostBreakdownResult:
     """Figure 11: cost breakdown, HChr18 self join (paper: B = 100 of 1032).
 
@@ -345,6 +348,7 @@ def figure11(
         cost_model=cost_model or GENOME_COST_MODEL,
         seed=seed,
         recorder=recorder,
+        explain=explain,
     )
     return CostBreakdownResult("Figure 11 (HChr18 self join)", runs, PAPER_FIGURE11)
 

@@ -39,6 +39,13 @@ class MethodRun:
             return None
         return self.report.extra.get("stage_seconds")
 
+    @property
+    def explain(self):
+        """The run's :class:`~repro.obs.explain.JoinExplain`, when requested."""
+        if self.report is None:
+            return None
+        return self.report.extra.get("explain")
+
 
 def run_methods(
     r: IndexedDataset,
@@ -51,6 +58,7 @@ def run_methods(
     matrix_cache: "str | None" = None,
     recorder: Optional[Recorder] = None,
     prefilter=None,
+    explain: bool = False,
 ) -> Dict[str, MethodRun]:
     """Run each method once; infeasible methods yield ``report=None``.
 
@@ -70,6 +78,9 @@ def run_methods(
     pairs, so the cross-method agreement check is skipped in that mode
     — recall is then a measured quantity
     (:func:`repro.sketch.cascade.measured_recall`), not an invariant.
+
+    ``explain=True`` requests the plan/reconciliation artifact from
+    every run; read it back via :attr:`MethodRun.explain`.
     """
     from repro.sketch.config import resolve_prefilter
 
@@ -89,6 +100,7 @@ def run_methods(
                 prefilter=(
                     pf_config if method in ("sc", "rand-sc", "cc") else None
                 ),
+                explain=explain,
             )
         except InfeasibleBufferError:
             runs[method] = MethodRun(method, buffer_pages, None, None)
@@ -110,6 +122,7 @@ def sweep_buffer_sizes(
     matrix_cache: "str | None" = None,
     recorder: Optional[Recorder] = None,
     prefilter=None,
+    explain: bool = False,
 ) -> Dict[str, List[MethodRun]]:
     """One :func:`run_methods` per buffer size, grouped per method.
 
@@ -122,6 +135,7 @@ def sweep_buffer_sizes(
         runs = run_methods(
             r, s, epsilon, methods, buffer_pages, cost_model=cost_model, seed=seed,
             matrix_cache=matrix_cache, recorder=recorder, prefilter=prefilter,
+            explain=explain,
         )
         for method in methods:
             per_method[method].append(runs[method])

@@ -77,29 +77,44 @@ def format_stage_breakdown(runs, title: str = "wall-clock per stage") -> str:
     )
 
 
-def format_trace_summary(recorder, title: str = "trace", max_depth: int = 6) -> str:
+def format_trace_summary(
+    recorder,
+    title: str = "trace",
+    max_depth: int = 6,
+    max_counters: int = 30,
+) -> str:
     """Span tree plus headline counters of an in-memory recorder's trace.
 
     ``recorder`` is a :class:`repro.obs.InMemoryRecorder` (or subclass);
-    sibling spans with the same name are aggregated, counters print in
-    sorted order.  Histograms are summarised as count/min/max.
+    sibling spans with the same name are aggregated.  The ``max_counters``
+    largest counters print by descending value (name breaks ties), with a
+    trailing line noting how many were elided.  Histograms are summarised
+    as count, p50/p95/p99 (:meth:`repro.obs.Histogram.percentile` over
+    the power-of-two buckets) and exact min/max.
     """
     from repro.obs.export import format_span_tree
+    from repro.obs.recorder import Histogram
 
     lines: List[str] = [title, format_span_tree(recorder, max_depth=max_depth)]
     snapshot = recorder.metrics_snapshot()
     counters = snapshot.get("counters", {})
     if counters:
         lines.append("counters:")
-        for name in sorted(counters):
-            lines.append(f"  {name} = {counters[name]}")
+        top = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:max_counters]
+        for name, value in top:
+            lines.append(f"  {name} = {value}")
+        elided = len(counters) - len(top)
+        if elided > 0:
+            lines.append(f"  ... ({elided} smaller counters elided)")
     histograms = snapshot.get("histograms", {})
     if histograms:
         lines.append("histograms:")
         for name in sorted(histograms):
-            h = histograms[name]
+            hist = Histogram.from_dict(histograms[name])
+            p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
             lines.append(
-                f"  {name}: n={h['count']} min={h['min']:g} max={h['max']:g}"
+                f"  {name}: n={hist.count} p50={p50:g} p95={p95:g} p99={p99:g} "
+                f"min={hist.min:g} max={hist.max:g}"
             )
     return "\n".join(lines)
 

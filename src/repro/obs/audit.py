@@ -23,7 +23,7 @@ the scheduler optimises — so the audit is one-sided.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
@@ -49,12 +49,21 @@ class LemmaAuditor:
     - ``lemma.reads_observed`` / ``lemma.reads_bound`` — totals, so the
       achieved-vs-allowed ratio is one division away,
     - a ``lemma.violation`` event per offender with its shape.
+
+    With ``keep_records=True`` the auditor additionally retains one dict
+    per audited cluster (``index``, ``rows``, ``cols``, ``entries``,
+    ``bound``, ``observed``) in :attr:`records` — the per-cluster
+    reconciliation rows the EXPLAIN artifact reports headroom from.
     """
 
-    def __init__(self, recorder: Optional[Recorder] = None) -> None:
+    def __init__(
+        self, recorder: Optional[Recorder] = None, keep_records: bool = False
+    ) -> None:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.clusters_audited = 0
         self.violations = 0
+        self.keep_records = keep_records
+        self.records: List[Dict[str, int]] = []
 
     def check_cluster(self, cluster, observed_reads: int, cluster_index: int = -1) -> bool:
         """Audit one cluster; returns True when within bound."""
@@ -67,6 +76,17 @@ class LemmaAuditor:
         rec.count("lemma.clusters_audited")
         rec.count("lemma.reads_observed", int(observed_reads))
         rec.count("lemma.reads_bound", int(bound))
+        if self.keep_records:
+            self.records.append(
+                {
+                    "index": int(cluster_index),
+                    "rows": r,
+                    "cols": c,
+                    "entries": e,
+                    "bound": int(bound),
+                    "observed": int(observed_reads),
+                }
+            )
         if observed_reads > bound:
             self.violations += 1
             rec.count("lemma.violations")

@@ -60,14 +60,33 @@ def write_jsonl(recorder: InMemoryRecorder, path) -> None:
 
 
 def read_trace_jsonl(path) -> Dict[str, Any]:
-    """Parse a JSONL trace back into ``{meta, spans, events, metrics}``."""
-    out: Dict[str, Any] = {"meta": None, "spans": [], "events": [], "metrics": None}
+    """Parse a JSONL trace back into ``{meta, spans, events, metrics}``.
+
+    A line that fails to parse — typically the torn trailing line of a
+    crash-truncated trace — is skipped and tallied in the returned
+    ``corrupt_lines`` count instead of raising, so a partial trace still
+    yields every record written before the crash.
+    """
+    out: Dict[str, Any] = {
+        "meta": None,
+        "spans": [],
+        "events": [],
+        "metrics": None,
+        "corrupt_lines": 0,
+    }
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                out["corrupt_lines"] += 1
+                continue
+            if not isinstance(record, dict):
+                out["corrupt_lines"] += 1
+                continue
             kind = record.get("type")
             if kind == "span":
                 out["spans"].append(record)

@@ -1,0 +1,109 @@
+"""Reconciliation metrics for the EXPLAIN layer.
+
+The explain artifact (:mod:`repro.obs.explain`) compares what the cost
+model *predicted* against what the simulated machinery *charged*.  The
+predicted side of the I/O reconciliation comes from
+:class:`DiskCostReplayer`: a disk subscriber that re-prices every
+accounted read (and bulk stream charge) through the same
+:meth:`~repro.costmodel.CostModel.io_cost` expression — one call per
+event, in event order — that :class:`~repro.storage.disk.SimulatedDisk`
+itself uses.  Because the two accumulations perform bit-identical float
+operations in the same order, a correct accounting pipeline reconciles
+to a residual of *exactly* ``0.0``, not merely something small: any
+nonzero residual is a real bug (a read charged without notification, a
+model swap mid-join, a counter drifting from the charged seconds).
+
+The closed-form check ``io_cost(total_transfers, total_seeks)`` is also
+reported; it reorders the float additions, so its residual is a few ulp
+rather than zero and is informational only.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import CostModel
+
+__all__ = [
+    "DiskCostReplayer",
+    "signed_residual",
+    "seconds_to_us",
+    "fraction_to_ppm",
+]
+
+
+def signed_residual(observed: float, predicted: float) -> float:
+    """Observed minus predicted — positive means the model undershot."""
+    return observed - predicted
+
+
+def seconds_to_us(seconds: float) -> int:
+    """Signed whole microseconds, for residuals carried as counters."""
+    return int(round(seconds * 1e6))
+
+
+def fraction_to_ppm(fraction: float) -> int:
+    """Signed parts-per-million, for recall residuals carried as counters."""
+    return int(round(fraction * 1e6))
+
+
+class DiskCostReplayer:
+    """Re-prices a disk's accounted events through the cost model.
+
+    Attach with :meth:`watch`; the replayer then receives every per-page
+    read (via :meth:`SimulatedDisk.subscribe`) and every bulk stream
+    charge (via :meth:`SimulatedDisk.subscribe_stream`) and accumulates
+    ``model.io_cost(...)`` once per event — the exact float sequence the
+    disk's own ``stats.io_seconds`` accumulation performs.  After the
+    join, ``replayer.io_seconds == disk.stats.io_seconds`` bitwise
+    whenever the accounting pipeline is sound.
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+        self.transfers = 0
+        self.seeks = 0
+        self.io_seconds = 0.0
+        self._disk = None
+
+    # -- subscription lifecycle ------------------------------------------------
+
+    def watch(self, disk) -> "DiskCostReplayer":
+        """Subscribe to ``disk``'s read and stream notifications."""
+        if self._disk is not None:
+            raise RuntimeError("replayer is already watching a disk")
+        disk.subscribe(self._on_read)
+        disk.subscribe_stream(self._on_stream)
+        self._disk = disk
+        return self
+
+    def detach(self) -> None:
+        """Stop watching; safe to call more than once."""
+        if self._disk is None:
+            return
+        self._disk.unsubscribe(self._on_read)
+        self._disk.unsubscribe_stream(self._on_stream)
+        self._disk = None
+
+    # -- event handlers --------------------------------------------------------
+
+    def _on_read(self, dataset_id, page_no, block, sequential) -> None:
+        self.transfers += 1
+        if not sequential:
+            self.seeks += 1
+        self.io_seconds += self.cost_model.io_cost(
+            transfers=1, seeks=0 if sequential else 1
+        )
+
+    def _on_stream(self, transfers: int, seeks: int) -> None:
+        self.transfers += transfers
+        self.seeks += seeks
+        self.io_seconds += self.cost_model.io_cost(transfers, seeks)
+
+    # -- reconciliation --------------------------------------------------------
+
+    def closed_form_io_seconds(self) -> float:
+        """``io_cost`` of the replayed totals (reordered additions: ~ulp off)."""
+        return self.cost_model.io_cost(self.transfers, self.seeks)
+
+    def residual_against(self, observed_io_seconds: float) -> float:
+        """Observed charged seconds minus the replayed prediction."""
+        return signed_residual(observed_io_seconds, self.io_seconds)

@@ -47,6 +47,7 @@ __all__ = [
     "SHARDING_VARIANT_COUNTER_PREFIXES",
     "PREFILTER_VARIANT_COUNTER_PREFIXES",
     "BACKEND_VARIANT_COUNTER_PREFIXES",
+    "EXPLAIN_VARIANT_COUNTER_PREFIXES",
 ]
 
 # Counters that measure *how* work was batched rather than *what* work
@@ -94,6 +95,16 @@ PREFILTER_VARIANT_COUNTER_PREFIXES = ("prefilter.",)
 # prefix.  Between serial and sharded runs of the *same* configuration
 # these counters are NOT variant: shard sums equal the serial totals.
 BACKEND_VARIANT_COUNTER_PREFIXES = ("kernel.backend.",)
+
+# Counter-name prefix that exists only with the EXPLAIN layer enabled
+# (``join(..., explain=True)`` — signed reconciliation residuals, see
+# ``repro.obs.explain``).  Equivalence checks against ``explain=None``
+# runs must drop this prefix.  Only *deterministic* residuals are
+# emitted as counters (I/O µs, per-cluster reads, recall ppm), so
+# between serial and sharded runs of the same configuration these
+# counters are NOT variant: the parent replays all I/O itself and the
+# residual counters match the serial run exactly.
+EXPLAIN_VARIANT_COUNTER_PREFIXES = ("explain.",)
 
 
 class Span:
@@ -174,6 +185,37 @@ class Histogram:
             self.max = value
         bucket = self.bucket_of(value)
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-th percentile (``0 <= q <= 100``) from buckets.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        q-th observation, then interpolates linearly across that bucket's
+        value range ``(2**(k-1), 2**k]``, clamping to the exact observed
+        ``min``/``max``.  Depends only on the bucket counts and min/max —
+        all of which :meth:`merge` combines losslessly — so a percentile
+        of merged shard histograms equals the percentile of one histogram
+        that observed every value (merge-safe, to bucket resolution).
+        Returns ``None`` for an empty histogram.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        # Rank of the target observation (nearest-rank with interpolation
+        # inside the landing bucket).
+        target = q / 100.0 * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            n = self.buckets[bucket]
+            if seen + n >= target:
+                lo = 0.0 if bucket == 0 else float(2 ** (bucket - 1))
+                hi = 1.0 if bucket == 0 else float(2**bucket)
+                frac = 0.0 if n == 0 else (target - seen) / n
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+            seen += n
+        return self.max
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -486,13 +528,26 @@ class JsonlRecorder(InMemoryRecorder):
     def _on_event(self, record: Dict[str, Any]) -> None:
         self._emit({"type": "event", **record})
 
+    def flush(self) -> None:
+        """Push buffered trace lines to the OS; safe after :meth:`close`.
+
+        Call at checkpoints of long runs so a crash truncates at most the
+        lines written since the last flush (``read_trace_jsonl`` skips
+        and counts a torn trailing line rather than raising).
+        """
+        with self._write_lock:
+            if self._fh is not None:
+                self._fh.flush()
+
     def close(self) -> None:
+        """Write the final ``metrics`` line and close the file (idempotent)."""
         if self._fh is None:
             return
         self._emit({"type": "metrics", **self.metrics_snapshot()})
         with self._write_lock:
-            self._fh.close()
-            self._fh = None
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "JsonlRecorder":
         return self

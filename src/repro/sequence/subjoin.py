@@ -57,6 +57,7 @@ def subsequence_join(
     batch_pairs: Optional[int] = None,
     prefilter=None,
     kernel_backend=None,
+    explain: bool = False,
 ) -> SubsequenceJoinResult:
     """Find all window pairs of length ``window_length`` within ``epsilon``.
 
@@ -73,7 +74,10 @@ def subsequence_join(
     pair) without changing results or accounting.  ``prefilter``
     forwards a sketch-cascade mode or :class:`repro.sketch.PrefilterConfig`
     (``"exact"`` reorders only; ``"approximate"`` prunes under a recall
-    target — see :func:`repro.core.join.join`).
+    target — see :func:`repro.core.join.join`).  ``explain=True``
+    attaches the plan/reconciliation artifact as
+    ``result.report.extra["explain"]`` (see
+    :class:`repro.obs.explain.JoinExplain`).
 
     Examples
     --------
@@ -103,6 +107,7 @@ def subsequence_join(
         batch_pairs=batch_pairs,
         prefilter=prefilter,
         kernel_backend=kernel_backend,
+        explain=explain,
     )
     return SubsequenceJoinResult(
         offsets=result.pairs,

@@ -77,6 +77,20 @@ class PrefilterPlan:
         return int(np.count_nonzero(self.unmark))
 
     @property
+    def total_mass(self) -> float:
+        """Estimated collision mass over every scored cell (score × size)."""
+        return float(np.dot(self.scores, self.sizes))
+
+    @property
+    def unmarked_mass(self) -> float:
+        """Estimated collision mass the unmark selection gives up."""
+        if not np.any(self.unmark):
+            return 0.0
+        return float(
+            np.dot(self.scores[self.unmark], self.sizes[self.unmark])
+        )
+
+    @property
     def unmark_rows(self) -> np.ndarray:
         return self.rows[self.unmark]
 
@@ -443,7 +457,9 @@ class PrefilteredJoiner(PagePairJoiner):
         )
 
 
-def measured_recall(reference, candidate, recorder: Recorder = NULL_RECORDER) -> float:
+def measured_recall(
+    reference, candidate, recorder: Recorder = NULL_RECORDER, explain=None
+) -> float:
     """Recall of a (possibly approximate) join against a reference join.
 
     Accepts :class:`~repro.core.join.JoinResult` objects or plain pair
@@ -453,6 +469,12 @@ def measured_recall(reference, candidate, recorder: Recorder = NULL_RECORDER) ->
     candidate's result is a subset of the reference's (true of the
     prefilter, which only ever drops work).  Records the value as
     ``prefilter.recall_measured_ppm``.
+
+    ``explain`` optionally names the *candidate* run's
+    :class:`~repro.obs.explain.JoinExplain` artifact: the measured value
+    is attached to its prefilter reconciliation
+    (:meth:`~repro.obs.explain.JoinExplain.attach_measured_recall`),
+    closing the estimated-vs-measured loop.
     """
     ref_pairs, ref_count = _pairs_and_count(reference)
     cand_pairs, cand_count = _pairs_and_count(candidate)
@@ -464,6 +486,8 @@ def measured_recall(reference, candidate, recorder: Recorder = NULL_RECORDER) ->
         recall = min(1.0, cand_count / ref_count)
     if recorder.enabled:
         recorder.count("prefilter.recall_measured_ppm", int(round(recall * 1e6)))
+    if explain is not None:
+        explain.attach_measured_recall(recall, recorder=recorder)
     return recall
 
 

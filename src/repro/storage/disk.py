@@ -20,7 +20,7 @@ from repro.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.storage.stats import IOStats
 
-__all__ = ["SimulatedDisk", "ReadSubscriber"]
+__all__ = ["SimulatedDisk", "ReadSubscriber", "StreamSubscriber"]
 
 PageKey = Tuple[Hashable, int]
 
@@ -29,6 +29,11 @@ PageKey = Tuple[Hashable, int]
 # disk's own head-movement verdict — the single source of truth for the
 # seek definition (the first read of a disk is never sequential).
 ReadSubscriber = Callable[[Hashable, int, int, bool], None]
+
+# Called after every bulk :meth:`SimulatedDisk.charge_stream` with
+# (transfers, seeks).  Stream charges have no per-page identity, so they
+# get their own channel instead of synthesising fake page reads.
+StreamSubscriber = Callable[[int, int], None]
 
 
 class SimulatedDisk:
@@ -58,21 +63,37 @@ class SimulatedDisk:
         self._next_block = 0
         self._head = -2  # sentinel: first read always seeks
         self._subscribers: List[ReadSubscriber] = []
+        self._stream_subscribers: List[StreamSubscriber] = []
 
     # -- observability --------------------------------------------------------
 
     def subscribe(self, callback: ReadSubscriber) -> ReadSubscriber:
         """Register a callback invoked after every accounted page read.
 
-        Bulk :meth:`charge_stream` accounting is *not* forwarded (it has
-        no per-page identity by design).  Returns the callback so the
-        method can be used as a decorator.
+        Bulk :meth:`charge_stream` accounting is *not* forwarded here (it
+        has no per-page identity by design) — use :meth:`subscribe_stream`
+        for those.  Returns the callback so the method can be used as a
+        decorator.
         """
         self._subscribers.append(callback)
         return callback
 
     def unsubscribe(self, callback: ReadSubscriber) -> None:
         self._subscribers.remove(callback)
+
+    def subscribe_stream(self, callback: StreamSubscriber) -> StreamSubscriber:
+        """Register a callback invoked after every bulk stream charge.
+
+        Together with :meth:`subscribe`, a pair of callbacks observes
+        every accounted I/O event on the disk — which is how the EXPLAIN
+        layer's :class:`~repro.obs.metrics.DiskCostReplayer` reconciles
+        predicted against charged I/O seconds exactly.
+        """
+        self._stream_subscribers.append(callback)
+        return callback
+
+    def unsubscribe_stream(self, callback: StreamSubscriber) -> None:
+        self._stream_subscribers.remove(callback)
 
     # -- layout -------------------------------------------------------------
 
@@ -154,6 +175,8 @@ class SimulatedDisk:
         if self.recorder.enabled:
             self.recorder.count("disk.stream_transfers", transfers)
             self.recorder.count("disk.stream_seeks", seeks)
+        for callback in self._stream_subscribers:
+            callback(transfers, seeks)
 
     # -- analytics ------------------------------------------------------------
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.costmodel import DEFAULT_COST_MODEL, CostModel, fit_cost_model
 
 
 class TestCostModel:
@@ -48,3 +48,72 @@ class TestCostModel:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             DEFAULT_COST_MODEL.seek_s = 1.0  # type: ignore[misc]
+
+
+class TestFitCostModel:
+    """The EXPLAIN calibration helper: exact recovery on simulated data,
+    graceful fallback whenever the system is degenerate."""
+
+    TRUE = CostModel(seek_s=0.008, transfer_s=0.0005, cpu_compare_s=2e-7)
+
+    def _sample(self, transfers, seeks, comparisons=0):
+        return {
+            "transfers": transfers,
+            "seeks": seeks,
+            "io_seconds": self.TRUE.io_cost(transfers, seeks),
+            "comparisons": comparisons,
+            "cpu_seconds": self.TRUE.cpu_cost(comparisons),
+        }
+
+    def test_two_independent_samples_recover_exactly(self):
+        fitted = fit_cost_model(
+            [self._sample(100, 10, comparisons=5000), self._sample(40, 25)]
+        )
+        assert fitted.seek_s == pytest.approx(self.TRUE.seek_s)
+        assert fitted.transfer_s == pytest.approx(self.TRUE.transfer_s)
+        assert fitted.cpu_compare_s == pytest.approx(self.TRUE.cpu_compare_s)
+
+    def test_overdetermined_consistent_system(self):
+        samples = [
+            self._sample(t, s)
+            for t, s in ((10, 1), (200, 7), (35, 35), (80, 3))
+        ]
+        fitted = fit_cost_model(samples)
+        assert fitted.seek_s == pytest.approx(self.TRUE.seek_s)
+        assert fitted.transfer_s == pytest.approx(self.TRUE.transfer_s)
+
+    def test_collinear_io_falls_back_to_base(self):
+        # Every sample has the same transfer:seek mix — rank 1, the two
+        # rates cannot be separated, so the base values survive.
+        base = CostModel(seek_s=0.02, transfer_s=0.002)
+        fitted = fit_cost_model(
+            [self._sample(10, 5), self._sample(20, 10)], base=base
+        )
+        assert fitted.seek_s == base.seek_s
+        assert fitted.transfer_s == base.transfer_s
+
+    def test_pure_sequential_identifies_transfer_only(self):
+        base = CostModel(seek_s=0.02, transfer_s=0.002)
+        fitted = fit_cost_model(
+            [self._sample(10, 0), self._sample(40, 0)], base=base
+        )
+        assert fitted.transfer_s == pytest.approx(self.TRUE.transfer_s)
+        assert fitted.seek_s == base.seek_s  # unidentifiable, kept
+
+    def test_no_samples_returns_base(self):
+        base = CostModel(seek_s=0.1, transfer_s=0.01, cpu_compare_s=1e-8)
+        fitted = fit_cost_model([], base=base)
+        assert fitted == base
+
+    def test_cpu_fit_from_single_sample(self):
+        fitted = fit_cost_model([self._sample(0, 0, comparisons=12345)])
+        assert fitted.cpu_compare_s == pytest.approx(self.TRUE.cpu_compare_s)
+
+    def test_result_always_valid(self):
+        # Pathological data (io_seconds = 0) must still produce a legal
+        # CostModel rather than raising in the constructor.
+        fitted = fit_cost_model(
+            [{"transfers": 10, "seeks": 0, "io_seconds": 0.0}]
+        )
+        assert fitted.transfer_s > 0
+        assert fitted.seek_s >= 0

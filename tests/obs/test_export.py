@@ -67,6 +67,34 @@ class TestJsonlRoundTrip:
         for span in spans:
             assert span["parent"] is None or span["parent"] in ids
 
+    def test_intact_trace_counts_zero_corrupt_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_sample_recorder(), path)
+        assert read_trace_jsonl(path)["corrupt_lines"] == 0
+
+    def test_crash_truncated_trailing_line_skipped_and_counted(self, tmp_path):
+        """A trace cut off mid-write (process crash) still loads; the
+        partial line is counted, not raised."""
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_sample_recorder(), path)
+        intact = read_trace_jsonl(path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "span", "name": "trunc')  # no closing brace
+        data = read_trace_jsonl(path)
+        assert data["corrupt_lines"] == 1
+        assert [s["name"] for s in data["spans"]] == [
+            s["name"] for s in intact["spans"]
+        ]
+        assert data["metrics"] == intact["metrics"]
+
+    def test_non_object_line_counted_as_corrupt(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_sample_recorder(), path)
+        with open(path, "a") as fh:
+            fh.write("[1, 2, 3]\n")
+            fh.write("garbage not json\n")
+        assert read_trace_jsonl(path)["corrupt_lines"] == 2
+
     def test_streamed_equals_batch_export(self, tmp_path):
         """JsonlRecorder's streamed file parses to the same structure."""
         streamed = tmp_path / "streamed.jsonl"

@@ -147,6 +147,64 @@ class TestHistogram:
         assert snap["histograms"]["sizes"]["count"] == 2
 
 
+class TestHistogramPercentile:
+    def test_empty_is_none(self):
+        assert Histogram().percentile(50) is None
+
+    def test_rejects_out_of_range(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_value_every_quantile(self):
+        h = Histogram()
+        h.add(7)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 7
+
+    def test_clamped_to_observed_range(self):
+        # Bucket boundaries are powers of two, but the estimate never
+        # leaves [min, max].
+        h = Histogram()
+        for v in (5, 5, 5):
+            h.add(v)
+        assert h.percentile(0) == 5
+        assert h.percentile(100) == 5
+
+    def test_monotone_in_q(self):
+        h = Histogram()
+        for v in (1, 2, 4, 8, 16, 32, 1024):
+            h.add(v)
+        estimates = [h.percentile(q) for q in (10, 25, 50, 75, 90, 99)]
+        assert estimates == sorted(estimates)
+        assert h.min <= estimates[0] and estimates[-1] <= h.max
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram()
+        for v in (3, 4):  # both land in bucket 2 (range 2..4]
+            h.add(v)
+        p50 = h.percentile(50)
+        assert 3 <= p50 <= 4
+
+    def test_merge_safe(self):
+        """Percentiles of a merged histogram equal those of one built
+        from all values — merge loses nothing the buckets had."""
+        values = [1, 2, 3, 5, 9, 17, 100, 1024, 7, 6]
+        combined, left, right = Histogram(), Histogram(), Histogram()
+        for v in values:
+            combined.add(v)
+        for v in values[:5]:
+            left.add(v)
+        for v in values[5:]:
+            right.add(v)
+        left.merge(right)
+        for q in (25, 50, 90, 99):
+            assert left.percentile(q) == combined.percentile(q)
+
+
 class TestHistogramMerge:
     def test_merge_equals_single_recorder(self):
         """Merging two halves reproduces one histogram over all values —
@@ -305,3 +363,21 @@ class TestJsonlRecorder:
             rec.count("c")
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 2  # meta + metrics
+
+    def test_flush_makes_spans_durable(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        rec = JsonlRecorder(path)
+        with rec.span("s"):
+            pass
+        rec.flush()
+        # Visible on disk before close (meta line + the completed span).
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(record.get("type") == "span" for record in lines)
+        rec.close()
+
+    def test_flush_after_close_is_noop(self, tmp_path):
+        rec = JsonlRecorder(tmp_path / "t.jsonl")
+        rec.close()
+        rec.flush()  # must not raise
