@@ -38,6 +38,37 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "InfeasibleBufferError",
+    "__version__",
 ]
 
-__version__ = "1.0.0"
+
+def _resolve_version() -> str:
+    """The package version, from the single source of truth in pyproject.
+
+    Source-tree runs (the common case: ``PYTHONPATH=src``) parse
+    ``pyproject.toml`` directly — a regex rather than ``tomllib``, which
+    is 3.11+ while this package supports 3.10.  Installed runs fall back
+    to the distribution metadata, which setuptools filled from the same
+    pyproject field.
+    """
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "0.0.0+unknown"
+
+
+__version__ = _resolve_version()

@@ -11,6 +11,9 @@ Two subcommands::
         --method sc --buffer 25 --pairs-out pairs.csv
     python -m repro.cli join sequence a.txt b.txt --window 192 --epsilon 1
 
+    # run the long-lived join service (see docs/serving.md)
+    python -m repro.cli serve --host 127.0.0.1 --port 8765
+
 Point files: ``.npy``/``.npz`` (array under the ``vectors`` key) or
 ``.csv`` (one vector per line).  Sequence files: ``.txt`` holding either a
 DNA string or whitespace/newline-separated numbers.
@@ -33,9 +36,15 @@ def main(argv: Optional[list] = None) -> int:
         prog="python -m repro.cli",
         description="Prediction-matrix similarity joins (ICDE 2003 reproduction).",
     )
+    import repro
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
     subcommands = parser.add_subparsers(dest="command", required=True)
     _add_generate(subcommands)
     _add_join(subcommands)
+    _add_serve(subcommands)
     args = parser.parse_args(argv)
     return args.handler(args)
 
@@ -76,6 +85,52 @@ def _run_generate(args) -> int:
     else:
         np.save(args.out, points)
     print(f"wrote {points.shape[0]} x {points.shape[1]} vectors to {args.out}")
+    return 0
+
+
+# -- serve -------------------------------------------------------------------------
+
+
+def _add_serve(subcommands) -> None:
+    cmd = subcommands.add_parser(
+        "serve",
+        help="run the long-lived join service (HTTP, resident caches)",
+    )
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=8765)
+    cmd.add_argument("--shared-buffer-frames", type=int, default=256,
+                     help="total buffer frames concurrent requests may "
+                          "hold (the admission pin budget)")
+    cmd.add_argument("--request-buffer-pages", type=int, default=64,
+                     help="default frames one join leases (its simulated "
+                          "buffer size B)")
+    cmd.add_argument("--max-queue", type=int, default=8,
+                     help="requests allowed to wait for frames; beyond "
+                          "this the service answers 429")
+    cmd.add_argument("--admit-timeout", type=float, default=10.0,
+                     help="seconds a queued request waits before 429")
+    cmd.set_defaults(handler=_run_serve)
+
+
+def _run_serve(args) -> int:
+    import repro
+    from repro.serve.service import serve
+
+    print(
+        f"repro {repro.__version__} join service on "
+        f"http://{args.host}:{args.port} "
+        f"(pin budget {args.shared_buffer_frames} frames, "
+        f"{args.request_buffer_pages} frames/request, "
+        f"queue {args.max_queue}, Ctrl-C to stop)"
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        shared_buffer_frames=args.shared_buffer_frames,
+        request_buffer_pages=args.request_buffer_pages,
+        max_queue=args.max_queue,
+        admit_timeout_s=args.admit_timeout,
+    )
     return 0
 
 

@@ -297,6 +297,7 @@ def join(
     prefilter: "None | str | PrefilterConfig" = None,
     kernel_backend=None,
     explain: bool = False,
+    explain_meta: Optional[dict] = None,
 ) -> JoinResult:
     """Join two indexed datasets: all object pairs within ``epsilon``.
 
@@ -359,7 +360,11 @@ def join(
         charged — and is saved there after a fresh build otherwise.
         Competitor methods (which build no matrix) ignore it.  See
         :func:`repro.storage.persist.invalidate_matrix_cache` to clear
-        entries.
+        entries.  Instead of a directory, an in-memory store object
+        implementing the persist protocol (``save_matrix``/``load_matrix``
+        etc. — see :class:`repro.serve.store.ResidentStore`) may be
+        passed; the serving layer uses this to serve matrices and
+        sketches straight from resident state.
     recorder:
         A :class:`repro.obs.Recorder` collecting span traces and metrics
         for this join (see :mod:`repro.obs`).  ``None`` (the default)
@@ -403,6 +408,11 @@ def join(
         the default null one.  Off by default and entirely skipped then —
         the explain-off hot path stays under the NullRecorder overhead
         gate.
+    explain_meta:
+        Extra key/value pairs merged into the EXPLAIN artifact's meta
+        block (ignored when ``explain`` is off).  The serving layer tags
+        artifacts with the request id and resident-dataset fingerprints
+        this way.
     """
     if method not in JOIN_METHODS:
         raise ValueError(f"unknown join method {method!r}; expected one of {JOIN_METHODS}")
@@ -449,6 +459,8 @@ def join(
             r_pages=r.num_pages,
             s_pages=s.num_pages,
         )
+        if explain_meta:
+            collector.set_meta(**explain_meta)
     joiner = _make_joiner(
         r, s, epsilon, model, self_join, not count_only, rec, backend
     )

@@ -311,6 +311,23 @@ class PredictionMatrix:
             self._cols_cache = None
         self._count -= len(pairs)
 
+    def grow(self, num_rows: int, num_cols: int) -> None:
+        """Extend the matrix dimensions; existing marks are untouched.
+
+        The incremental-append path (``repro.serve``) patches a resident
+        matrix when pages are appended to a dataset: the dimensions grow
+        to the new page counts, then the delta sweep ``mark_many``s the
+        new/changed rows and columns.  Shrinking is refused — marks
+        outside the smaller dimensions would dangle.
+        """
+        if num_rows < self.num_rows or num_cols < self.num_cols:
+            raise ValueError(
+                f"cannot shrink matrix {self.num_rows}x{self.num_cols} "
+                f"to {num_rows}x{num_cols}"
+            )
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+
     def keep_upper_triangle(self) -> None:
         """Drop entries with ``row > col`` (self-join symmetry reduction).
 

@@ -37,7 +37,13 @@ from repro.geometry import BoxArray, Rect
 from repro.index.node import IndexNode
 from repro.obs.recorder import NULL_RECORDER, Recorder
 
-__all__ = ["SweepStats", "sweep_pairs", "block_sweep_pairs", "build_prediction_matrix"]
+__all__ = [
+    "SweepStats",
+    "sweep_pairs",
+    "block_sweep_pairs",
+    "marked_box_pairs",
+    "build_prediction_matrix",
+]
 
 
 @dataclass
@@ -141,6 +147,31 @@ def _expand_ranges(
     within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
     members = order[np.repeat(start, counts) + within]
     return owners, members
+
+
+def marked_box_pairs(
+    left: BoxArray,
+    right: BoxArray,
+    epsilon: float,
+    stats: Optional[SweepStats] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The mark predicate of :func:`build_prediction_matrix` over leaf boxes.
+
+    Returns every ``(i, j)`` whose ε/2-extended boxes intersect — exactly
+    the entries a full hierarchy descent at threshold ``epsilon`` would
+    mark for these leaves, regardless of tree shape or filter depth (the
+    descent and the iterative filter only prune *node pair* visits; the
+    final marked set is always the extended-leaf-box intersections).
+
+    This is the incremental-delta primitive: appending pages to a
+    resident dataset patches its prediction matrices by sweeping just the
+    new/changed leaf boxes against the other side's resident bounds and
+    ``mark_many``-ing the result, instead of rebuilding from the roots.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    half = epsilon / 2.0
+    return block_sweep_pairs(left.extend(half), right.extend(half), stats)
 
 
 def sweep_pairs(

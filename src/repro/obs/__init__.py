@@ -26,6 +26,7 @@ from repro.obs.recorder import (
     EXPLAIN_VARIANT_COUNTER_PREFIXES,
     NULL_RECORDER,
     PREFILTER_VARIANT_COUNTER_PREFIXES,
+    SERVING_COUNTER_PREFIXES,
     SHARDING_VARIANT_COUNTER_PREFIXES,
     Histogram,
     InMemoryRecorder,
@@ -41,6 +42,7 @@ __all__ = [
     "PREFILTER_VARIANT_COUNTER_PREFIXES",
     "BACKEND_VARIANT_COUNTER_PREFIXES",
     "EXPLAIN_VARIANT_COUNTER_PREFIXES",
+    "SERVING_COUNTER_PREFIXES",
     "Recorder",
     "NullRecorder",
     "InMemoryRecorder",

@@ -48,6 +48,7 @@ __all__ = [
     "PREFILTER_VARIANT_COUNTER_PREFIXES",
     "BACKEND_VARIANT_COUNTER_PREFIXES",
     "EXPLAIN_VARIANT_COUNTER_PREFIXES",
+    "SERVING_COUNTER_PREFIXES",
 ]
 
 # Counters that measure *how* work was batched rather than *what* work
@@ -105,6 +106,14 @@ BACKEND_VARIANT_COUNTER_PREFIXES = ("kernel.backend.",)
 # counters are NOT variant: the parent replays all I/O itself and the
 # residual counters match the serial run exactly.
 EXPLAIN_VARIANT_COUNTER_PREFIXES = ("explain.",)
+
+# Counter-name prefix that exists only when a join runs through the
+# long-lived serving layer (``repro.serve`` — warm-path hits, incremental
+# appends, admission decisions).  These counters describe the *session's*
+# residency bookkeeping, never the join computation itself: equivalence
+# checks between a served join and the same join run directly must drop
+# this prefix and require everything else to match exactly.
+SERVING_COUNTER_PREFIXES = ("serving.",)
 
 
 class Span:

@@ -1,0 +1,152 @@
+"""Admission control: bounded in-flight work over a shared frame budget.
+
+Every request that touches pages must hold a frame lease from the
+session's shared :class:`~repro.storage.buffer.BufferPool` before any
+work starts.  The pool's atomic :meth:`~repro.storage.buffer.BufferPool.try_lease`
+guarantees the granted total never exceeds the pin budget; this module
+adds the queueing policy on top:
+
+* lease available → admit immediately;
+* pool exhausted but queue has room → block (bounded wait) until a
+  release frees frames or the timeout expires;
+* queue full, or the wait times out → :class:`AdmissionRejected`, which
+  the HTTP layer maps to **429 Too Many Requests**.
+
+The controller never holds pages itself — per-request I/O runs on a
+private per-request pool (see :mod:`repro.serve.session`), so the shared
+pool is purely the admission ledger and releasing a ticket can never
+block on eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.storage.buffer import BufferLease, BufferPool
+
+__all__ = ["AdmissionController", "AdmissionRejected", "AdmissionTicket"]
+
+
+class AdmissionRejected(Exception):
+    """The request cannot be admitted: queue full or wait timed out."""
+
+
+class AdmissionTicket:
+    """A granted admission: frame lease + queue bookkeeping.
+
+    Context manager; :meth:`release` is idempotent.  Releasing wakes one
+    queued waiter.
+    """
+
+    def __init__(self, controller: "AdmissionController", lease: BufferLease) -> None:
+        self._controller = controller
+        self._lease = lease
+        self._released = False
+
+    @property
+    def frames(self) -> int:
+        return self._lease.frames
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release(self._lease)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Queue-or-429 admission over a :class:`BufferPool`'s frame leases.
+
+    Parameters
+    ----------
+    pool:
+        The shared pool whose frames bound concurrent work.  A request
+        needing ``frames`` frames is admitted iff the pool can lease
+        them; with the pool sized to ``max_inflight × frames_per_request``
+        the frame budget *is* the in-flight bound.
+    max_queue:
+        Waiters allowed to block for frames at once; a request arriving
+        to a full queue is rejected immediately.
+    timeout_s:
+        Longest a queued request waits before rejection.
+    """
+
+    def __init__(
+        self, pool: BufferPool, max_queue: int = 8, timeout_s: float = 10.0
+    ) -> None:
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be non-negative, got {timeout_s}")
+        self.pool = pool
+        self.max_queue = max_queue
+        self.timeout_s = timeout_s
+        self._cond = threading.Condition()
+        self._waiting = 0
+        self.admitted_total = 0
+        self.queued_total = 0
+        self.rejected_total = 0
+        self.timed_out_total = 0
+
+    def admit(self, frames: int, timeout_s: Optional[float] = None) -> AdmissionTicket:
+        """Block until ``frames`` can be leased; raise :class:`AdmissionRejected`.
+
+        Raises ``ValueError`` (propagated from the pool) for requests
+        that could never be granted — those are caller bugs, not load.
+        """
+        deadline_timeout = self.timeout_s if timeout_s is None else timeout_s
+        lease = self.pool.try_lease(frames)
+        if lease is not None:
+            with self._cond:
+                self.admitted_total += 1
+            return AdmissionTicket(self, lease)
+        with self._cond:
+            if self._waiting >= self.max_queue:
+                self.rejected_total += 1
+                raise AdmissionRejected(
+                    f"admission queue full ({self.max_queue} waiting); "
+                    f"retry later"
+                )
+            self._waiting += 1
+            self.queued_total += 1
+            try:
+                deadline = time.monotonic() + deadline_timeout
+                while True:
+                    lease = self.pool.try_lease(frames)
+                    if lease is not None:
+                        self.admitted_total += 1
+                        return AdmissionTicket(self, lease)
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self.timed_out_total += 1
+                        self.rejected_total += 1
+                        raise AdmissionRejected(
+                            f"timed out after {deadline_timeout:.3f}s waiting "
+                            f"for {frames} buffer frames"
+                        )
+            finally:
+                self._waiting -= 1
+
+    def _release(self, lease: BufferLease) -> None:
+        lease.release()
+        with self._cond:
+            self._cond.notify_all()
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "capacity_frames": self.pool.capacity,
+                "leased_frames": self.pool.leased,
+                "waiting": self._waiting,
+                "admitted_total": self.admitted_total,
+                "queued_total": self.queued_total,
+                "rejected_total": self.rejected_total,
+                "timed_out_total": self.timed_out_total,
+            }

@@ -1,0 +1,274 @@
+"""The stdlib HTTP face of the join service (``repro serve``).
+
+A :class:`~http.server.ThreadingHTTPServer` dispatching JSON requests
+onto one shared :class:`~repro.serve.session.JoinSession`:
+
+====== ============================ ==========================================
+Method Path                         Action
+====== ============================ ==========================================
+GET    ``/healthz``                 Version, uptime, resident datasets,
+                                    pool occupancy, serving counters.
+GET    ``/datasets``                List resident datasets.
+POST   ``/datasets``                Register a dataset (build + make resident).
+GET    ``/datasets/{id}``           Describe one resident dataset.
+POST   ``/datasets/{id}/pages``     Incremental append (patch warm state).
+DELETE ``/datasets/{id}``           Evict a dataset and its cache entries.
+POST   ``/join``                    Run a join against resident snapshots.
+POST   ``/subsequence_join``        Same, restricted to sliding-window data.
+====== ============================ ==========================================
+
+Error mapping: unknown dataset → **404**; malformed payloads and config
+errors → **400**; admission queue full or wait timed out → **429**;
+anything else → **500** with the exception text.
+
+No new dependencies: ``http.server`` + ``json`` only, threads per
+request (the session is built for exactly that concurrency).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+import repro
+from repro.core.join import IndexedDataset
+from repro.errors import ConfigError
+from repro.serve.admission import AdmissionRejected
+from repro.serve.session import JoinSession
+
+__all__ = ["JoinService", "make_server", "serve"]
+
+_DATASET_PATH = re.compile(r"^/datasets/([^/]+)$")
+_PAGES_PATH = re.compile(r"^/datasets/([^/]+)/pages$")
+
+
+def _required(body: Dict[str, Any], key: str, types) -> Any:
+    if key not in body:
+        raise ValueError(f"request body is missing required field {key!r}")
+    value = body[key]
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        raise ValueError(
+            f"field {key!r} must be {expected}, got {type(value).__name__}"
+        )
+    return value
+
+
+class JoinService:
+    """One session plus the request-level glue the HTTP handler calls."""
+
+    def __init__(self, session: Optional[JoinSession] = None, **session_kwargs) -> None:
+        self.session = session or JoinSession(**session_kwargs)
+
+    # -- handlers (return (status, payload)) -----------------------------------
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        stats = self.session.stats()
+        return 200, {
+            "status": "ok",
+            "version": repro.__version__,
+            "uptime_seconds": stats["uptime_seconds"],
+            "datasets": stats["datasets"],
+            "pool": stats["admission"],
+            "store": stats["store"],
+            "counters": stats["counters"],
+        }
+
+    def register_dataset(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        dataset_id = _required(body, "id", str)
+        kind = _required(body, "kind", str)
+        page_capacity = None
+        if kind == "vector":
+            vectors = np.asarray(_required(body, "vectors", list), dtype=np.float64)
+            page_capacity = int(body.get("page_capacity", 64))
+            dataset = IndexedDataset.from_points(
+                vectors,
+                page_capacity=page_capacity,
+                p=float(body.get("p", 2.0)),
+                dataset_id=dataset_id,
+            )
+        elif kind == "text":
+            kwargs: Dict[str, Any] = {}
+            if "alphabet" in body:
+                kwargs["alphabet"] = body["alphabet"]
+            dataset = IndexedDataset.from_string(
+                _required(body, "text", str),
+                window_length=int(_required(body, "window_length", int)),
+                windows_per_page=int(body.get("windows_per_page", 256)),
+                dataset_id=dataset_id,
+                **kwargs,
+            )
+        elif kind == "series":
+            values = np.asarray(_required(body, "values", list), dtype=np.float64)
+            band = body.get("dtw_band")
+            dataset = IndexedDataset.from_time_series(
+                values,
+                window_length=int(_required(body, "window_length", int)),
+                windows_per_page=int(body.get("windows_per_page", 256)),
+                dtw_band=None if band is None else int(band),
+                dataset_id=dataset_id,
+            )
+        else:
+            raise ValueError(
+                f"unknown dataset kind {kind!r}; expected vector, text or series"
+            )
+        described = self.session.register(
+            dataset_id, dataset, page_capacity=page_capacity
+        )
+        return 201, described
+
+    def append(self, dataset_id: str, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        if "vectors" in body:
+            payload: Any = np.asarray(body["vectors"], dtype=np.float64)
+        elif "suffix" in body:
+            payload = body["suffix"]
+        elif "values" in body:
+            payload = np.asarray(body["values"], dtype=np.float64)
+        else:
+            raise ValueError(
+                "append body must carry 'vectors' (vector datasets), "
+                "'suffix' (text) or 'values' (series)"
+            )
+        return 200, self.session.append(dataset_id, payload)
+
+    def join(
+        self, body: Dict[str, Any], subsequence: bool = False
+    ) -> Tuple[int, Dict[str, Any]]:
+        kwargs = dict(body)
+        r_id = _required(kwargs, "r", str)
+        s_id = str(kwargs.pop("s", r_id))
+        epsilon = float(_required(kwargs, "epsilon", (int, float)))
+        kwargs.pop("r", None)
+        kwargs.pop("epsilon", None)
+        runner = self.session.subsequence_join if subsequence else self.session.join
+        return 200, runner(r_id, s_id, epsilon, **kwargs)
+
+    # -- routing ---------------------------------------------------------------
+
+    def dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            return self._route(method, path, body or {})
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0]) if exc.args else str(exc)}
+        except AdmissionRejected as exc:
+            return 429, {"error": str(exc)}
+        except (ValueError, TypeError, ConfigError) as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive surface
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _route(
+        self, method: str, path: str, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if method == "GET" and path == "/healthz":
+            return self.healthz()
+        if method == "GET" and path == "/datasets":
+            return 200, {"datasets": self.session.datasets()}
+        if method == "POST" and path == "/datasets":
+            return self.register_dataset(body)
+        if method == "POST" and path == "/join":
+            return self.join(body)
+        if method == "POST" and path == "/subsequence_join":
+            return self.join(body, subsequence=True)
+        match = _PAGES_PATH.match(path)
+        if match and method == "POST":
+            return self.append(match.group(1), body)
+        match = _DATASET_PATH.match(path)
+        if match:
+            if method == "GET":
+                return 200, self.session.describe(match.group(1))
+            if method == "DELETE":
+                return 200, self.session.evict(match.group(1))
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the service logs
+    # through its own counters instead.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def _service(self) -> JoinService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        parsed = json.loads(raw.decode("utf-8"))
+        if not isinstance(parsed, dict):
+            raise ValueError("request body must be a JSON object")
+        return parsed
+
+    def _respond(self, method: str) -> None:
+        try:
+            body = self._read_body()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        status, payload = self._service.dispatch(method, self.path, body)
+        self._send(status, payload)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._respond("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._respond("DELETE")
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[JoinService] = None,
+    **session_kwargs,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve ThreadingHTTPServer (``port=0`` picks a free port)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service or JoinService(**session_kwargs)  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    service: Optional[JoinService] = None,
+    ready_event: Optional[threading.Event] = None,
+    **session_kwargs,
+) -> None:
+    """Run the join service until interrupted (the ``repro serve`` entry)."""
+    server = make_server(host, port, service=service, **session_kwargs)
+    if ready_event is not None:
+        ready_event.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

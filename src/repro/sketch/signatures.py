@@ -33,7 +33,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PageSketches", "build_sketches", "sketch_params_fingerprint"]
+__all__ = [
+    "PageSketches",
+    "build_sketch_rows",
+    "build_sketches",
+    "sketch_params_fingerprint",
+]
 
 SKETCH_KINDS = ("quantile", "minhash")
 
@@ -95,10 +100,27 @@ def sketch_params_fingerprint(dataset, config) -> str:
 
 def build_sketches(dataset, config) -> PageSketches:
     """Sketch every page of an :class:`~repro.core.join.IndexedDataset`."""
+    signatures, counts = build_sketch_rows(
+        dataset, config, range(dataset.paged.num_pages)
+    )
+    kind = "minhash" if dataset.kind == "text" else "quantile"
+    return PageSketches(kind=kind, signatures=signatures, counts=counts)
+
+
+def build_sketch_rows(dataset, config, pages) -> "tuple[np.ndarray, np.ndarray]":
+    """Signature rows and object counts for ``pages`` of ``dataset``.
+
+    Every page is sketched independently through the same per-page code
+    path :func:`build_sketches` uses, so the rows produced for a subset of
+    pages (the incremental-append path) are **bitwise identical** to the
+    corresponding rows of a from-scratch full build — no BLAS-blocking or
+    reduction-order differences can creep in between the two.
+    """
+    page_list = np.asarray(list(pages), dtype=np.int64)
     if dataset.kind == "text":
-        return _build_minhash(dataset, config)
+        return _minhash_rows(dataset, config, page_list)
     if dataset.kind in ("vector", "series"):
-        return _build_quantile(dataset, config)
+        return _quantile_rows(dataset, config, page_list)
     raise ValueError(f"cannot sketch dataset kind {dataset.kind!r}")
 
 
@@ -141,7 +163,9 @@ def _page_bounds(dataset) -> "tuple[np.ndarray, np.ndarray]":
     return lo, hi
 
 
-def _build_quantile(dataset, config) -> PageSketches:
+def _quantile_rows(
+    dataset, config, pages: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
     if dataset.kind == "vector":
         objects = np.asarray(dataset.paged.vectors, dtype=np.float64)
     else:
@@ -151,19 +175,18 @@ def _build_quantile(dataset, config) -> PageSketches:
         )
     rng = np.random.default_rng(config.seed)
     dirs = _unit_directions(rng, config.num_hashes, objects.shape[1])
-    proj = objects @ dirs.T  # (n, K)
     lo, hi = _page_bounds(dataset)
-    num_pages = lo.shape[0]
     qs = np.linspace(0.0, 1.0, config.num_quantiles)
     signatures = np.empty(
-        (num_pages, config.num_hashes, config.num_quantiles), dtype=np.float64
+        (pages.shape[0], config.num_hashes, config.num_quantiles), dtype=np.float64
     )
-    for p in range(num_pages):
+    for row, p in enumerate(pages):
+        # Project per page — a page's rows see the same multiply/add order
+        # whether sketched alone or as part of a full build.
+        proj = objects[lo[p] : hi[p]] @ dirs.T  # (n_p, K)
         # (Q, K) quantiles of the page's projections, stored as (K, Q).
-        signatures[p] = np.quantile(proj[lo[p] : hi[p]], qs, axis=0).T
-    return PageSketches(
-        kind="quantile", signatures=signatures, counts=(hi - lo).astype(np.int64)
-    )
+        signatures[row] = np.quantile(proj, qs, axis=0).T
+    return signatures, (hi[pages] - lo[pages]).astype(np.int64)
 
 
 # -- minhash signatures (text pages) ------------------------------------------
@@ -179,30 +202,33 @@ def _gram_hashes(codes: np.ndarray, n: int) -> np.ndarray:
     return hashes
 
 
-def _build_minhash(dataset, config) -> PageSketches:
+def _minhash_rows(
+    dataset, config, pages: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
     paged = dataset.paged
     w = paged.window_length
     n = min(config.ngram_length, w)
     codes = np.frombuffer(paged.sequence.encode("latin-1"), dtype=np.uint8).astype(
         np.uint64
     )
-    grams = _gram_hashes(codes, n)
+    num_grams = codes.shape[0] - n + 1
     rng = np.random.default_rng(config.seed)
     k = config.minhash_hashes
     # Odd multipliers keep the affine maps bijective on Z/2^64.
     mult = rng.integers(0, np.iinfo(np.uint64).max, size=k, dtype=np.uint64) | np.uint64(1)
     add = rng.integers(0, np.iinfo(np.uint64).max, size=k, dtype=np.uint64)
-    permuted = grams[:, None] * mult[None, :] + add[None, :]  # (G, K)
-    num_pages = paged.num_pages
-    signatures = np.empty((num_pages, k), dtype=np.uint64)
-    counts = np.empty(num_pages, dtype=np.int64)
-    num_grams = grams.shape[0]
-    for p in range(num_pages):
+    signatures = np.empty((pages.shape[0], k), dtype=np.uint64)
+    counts = np.empty(pages.shape[0], dtype=np.int64)
+    for row, p in enumerate(pages):
         ws, we = paged.window_range(p)
-        counts[p] = we - ws
+        counts[row] = we - ws
         # The page's windows cover symbols [ws, we - 1 + w); its grams
         # start anywhere in that span that still fits a full gram.
         gs = ws
         ge = min(we + w - n, num_grams)
-        signatures[p] = permuted[gs:ge].min(axis=0)
-    return PageSketches(kind="minhash", signatures=signatures, counts=counts)
+        # Hash the page's gram span from its own code slice: uint64
+        # arithmetic is exact, so the rows match a whole-sequence build.
+        grams = _gram_hashes(codes[gs : ge + n - 1], n)
+        permuted = grams[:, None] * mult[None, :] + add[None, :]  # (G_p, K)
+        signatures[row] = permuted.min(axis=0)
+    return signatures, counts

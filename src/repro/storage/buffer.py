@@ -17,6 +17,7 @@ stays a single serial replay and matches the serial executor exactly.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, List, Tuple
 
@@ -27,7 +28,7 @@ from repro.storage.disk import SimulatedDisk
 from repro.storage.page import PagedDataset
 from repro.storage.scheduler import plan_batch_read
 
-__all__ = ["BufferPool", "PinnedBatch"]
+__all__ = ["BufferLease", "BufferPool", "PinnedBatch"]
 
 PageKey = Tuple[Hashable, int]
 
@@ -75,6 +76,13 @@ class BufferPool:
         # Pin reference counts: pinned pages are never chosen as eviction
         # victims while any scope holds them (see :meth:`pinned`).
         self._pins: Dict[PageKey, int] = {}
+        # Frames granted to leases (see :meth:`try_lease`).  Leases carve
+        # capacity out of ``available`` without holding any pages — the
+        # serving layer uses a session-level pool purely as an admission
+        # ledger while each request does its I/O on a private pool sized
+        # by its lease.
+        self._lease_lock = threading.Lock()
+        self._leased = 0
 
     # -- dataset registration ----------------------------------------------
 
@@ -95,8 +103,44 @@ class BufferPool:
 
     @property
     def available(self) -> int:
-        """Frames usable for data pages (capacity minus reservations)."""
-        return self.capacity - self._reserved
+        """Frames usable for data pages (capacity minus reservations/leases)."""
+        return self.capacity - self._reserved - self._leased
+
+    @property
+    def leased(self) -> int:
+        """Frames currently granted to open :class:`BufferLease` scopes."""
+        return self._leased
+
+    def try_lease(self, frames: int) -> "BufferLease | None":
+        """Atomically carve ``frames`` out of the pool, or return ``None``.
+
+        Thread-safe: this is the only BufferPool entry point intended for
+        concurrent callers.  A granted lease reduces :attr:`available`
+        until released (``with pool.try_lease(n) as lease:`` or an explicit
+        idempotent :meth:`BufferLease.release`).  The lease holds no pages;
+        it is an admission token sized in frames.
+
+        Returns ``None`` when the frames are not available *right now*
+        (the caller may queue and retry).  Raises ``ValueError`` for
+        requests that could never succeed: negative frame counts or
+        requests exceeding the unreserved capacity.
+        """
+        if frames < 0:
+            raise ValueError(f"cannot lease a negative number of frames: {frames}")
+        if frames > self.capacity - self._reserved:
+            raise ValueError(
+                f"lease of {frames} frames can never be granted: only "
+                f"{self.capacity - self._reserved} unreserved frames exist"
+            )
+        with self._lease_lock:
+            if frames > self.capacity - self._reserved - self._leased:
+                return None
+            self._leased += frames
+        return BufferLease(self, frames)
+
+    def _release_lease(self, frames: int) -> None:
+        with self._lease_lock:
+            self._leased -= frames
 
     def reserve(self, frames: int) -> None:
         """Set aside buffer frames for non-data structures.
@@ -309,3 +353,27 @@ class PinnedBatch:
         if self._active:
             self._pool._unpin(self._keys)
             self._active = False
+
+
+class BufferLease:
+    """A granted frame lease from :meth:`BufferPool.try_lease`.
+
+    Usable as a context manager; :meth:`release` is idempotent so an
+    explicit early release followed by scope exit is safe.
+    """
+
+    def __init__(self, pool: BufferPool, frames: int) -> None:
+        self._pool = pool
+        self.frames = frames
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool._release_lease(self.frames)
+
+    def __enter__(self) -> "BufferLease":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

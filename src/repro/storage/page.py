@@ -278,6 +278,46 @@ class VectorPagedDataset:
         """The page boundary array (length ``num_pages + 1``)."""
         return self._offsets
 
+    def with_appended(
+        self, vectors: np.ndarray, page_capacity: int
+    ) -> "VectorPagedDataset":
+        """A new dataset with ``vectors`` appended as fresh pages.
+
+        Copy-on-write: this dataset is untouched; the returned one shares
+        its ``dataset_id`` (it is the *same* logical dataset, one version
+        later) and keeps every existing page boundary, so existing page
+        numbers, object ids and leaf boxes stay valid.  The new rows are
+        split into pages of at most ``page_capacity`` objects each —
+        appends never repack an existing page, which is what keeps the
+        incremental matrix/sketch patches O(new pages).
+        """
+        extra = np.asarray(vectors, dtype=np.float64)
+        if extra.ndim != 2 or extra.shape[0] == 0:
+            raise ValueError(
+                f"appended vectors must be a non-empty (n, d) array, "
+                f"got shape {extra.shape}"
+            )
+        if extra.shape[1] != self.dim:
+            raise ValueError(
+                f"appended vectors have dimension {extra.shape[1]}, "
+                f"dataset has {self.dim}"
+            )
+        if page_capacity <= 0:
+            raise ValueError(f"page_capacity must be positive, got {page_capacity}")
+        old_n = self.num_objects
+        new_boundaries = np.arange(
+            old_n + page_capacity, old_n + extra.shape[0], page_capacity,
+            dtype=np.int64,
+        )
+        offsets = np.concatenate(
+            [self._offsets, new_boundaries, [old_n + extra.shape[0]]]
+        )
+        return VectorPagedDataset(
+            np.vstack([self._data, extra]),
+            page_offsets=offsets,
+            dataset_id=self.dataset_id,
+        )
+
 
 class SequencePagedDataset:
     """Paging of one long sequence into fixed symbol blocks with overlap.
@@ -428,6 +468,38 @@ class SequencePagedDataset:
             starts=starts,
             counts=counts,
             global_starts=lo[pages],
+        )
+
+    def with_appended(self, suffix: "str | np.ndarray") -> "SequencePagedDataset":
+        """A new sequence dataset with ``suffix`` appended (same id/layout).
+
+        Copy-on-write like :meth:`VectorPagedDataset.with_appended`.
+        Window ownership is by start offset, so every existing window
+        keeps its page and global id; the old *last* page may gain
+        windows (its owned range was clipped by the old window count) and
+        new pages are added after it — the caller's dirty-page set for
+        box/sketch patching is exactly the pages from the old last page
+        onward whose window ranges changed.
+        """
+        if self.is_text:
+            if not isinstance(suffix, str):
+                raise TypeError("text datasets append str suffixes")
+            if not suffix:
+                raise ValueError("cannot append an empty suffix")
+            combined: "str | np.ndarray" = self._seq + suffix
+        else:
+            extra = np.asarray(suffix, dtype=np.float64)
+            if extra.ndim != 1 or extra.shape[0] == 0:
+                raise ValueError(
+                    f"appended series must be a non-empty 1-d array, "
+                    f"got shape {extra.shape}"
+                )
+            combined = np.concatenate([np.asarray(self._seq), extra])
+        return SequencePagedDataset(
+            combined,
+            symbols_per_page=self.symbols_per_page,
+            window_length=self.window_length,
+            dataset_id=self.dataset_id,
         )
 
 

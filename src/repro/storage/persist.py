@@ -13,10 +13,19 @@ repeated experiment/figure runs over the same datasets can skip
 reconstruction entirely.  A cached matrix is stored as a sparse COO
 ``.npz`` under a key derived from ``(fingerprint(R), fingerprint(S),
 epsilon, max_filter_rounds)``, where :func:`dataset_fingerprint` hashes
-the page/MBR structure (tree shape, levels, page numbers, exact float64
-box coordinates, page count).  Any change to the data or index yields a
-different fingerprint — a new key, never a stale hit; dropping cache
-entries explicitly is :func:`invalidate_matrix_cache`.
+the per-page leaf boxes (exact float64 coordinates), object counts and
+page count — the complete determinant of the marked set.  Any change to
+the data or paging yields a different fingerprint — a new key, never a
+stale hit; dropping cache entries explicitly is
+:func:`invalidate_matrix_cache`.  The fingerprint is a fold over pages
+(:class:`FingerprintChain`), so the serving layer updates it in
+O(appended pages) on ingest instead of re-hashing the dataset.
+
+The cache functions double as a *storage protocol*: anywhere a cache
+directory is accepted, an object exposing the matching methods
+(``load_matrix``/``save_matrix``/``load_sketches``/``save_sketches``/
+``invalidate_*``) may be passed instead — the resident-state join
+service plugs its in-memory store through the same seam.
 """
 
 from __future__ import annotations
@@ -24,9 +33,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+import time
 import zipfile
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +47,7 @@ from repro.index.node import IndexNode, PageIndex
 __all__ = [
     "save_dataset",
     "load_dataset",
+    "FingerprintChain",
     "dataset_fingerprint",
     "matrix_cache_key",
     "save_matrix",
@@ -59,6 +71,18 @@ _MATRIX_PREFIX = "pm_"
 _MATRIX_TMP_SUFFIX = ".tmp.npz"
 _SKETCH_FORMAT_VERSION = 1
 _SKETCH_PREFIX = "sk_"
+
+
+def _tmp_cache_path(path: Path, prefix: str, key: str) -> Path:
+    """Per-writer temp path for an atomic cache write.
+
+    Unique per process AND per thread: a resident join service runs
+    concurrent writer threads in one process, so a pid-only suffix
+    would let two threads clobber each other's half-written archive
+    before the ``os.replace``.
+    """
+    writer = f"{os.getpid()}-{threading.get_ident()}"
+    return path / f"{prefix}{key}.{writer}{_MATRIX_TMP_SUFFIX}"
 
 
 def save_dataset(dataset, directory: "str | Path") -> Path:
@@ -165,31 +189,98 @@ def load_dataset(directory: "str | Path", dataset_id: Optional[str] = None):
 # -- prediction-matrix cache -------------------------------------------------------
 
 
+_FP_DOMAIN = b"pm-fingerprint-v2"
+
+
+class FingerprintChain:
+    """Incrementally maintained dataset fingerprint: a hash chain over pages.
+
+    State ``k`` of the chain is the sha256 fold of pages ``0..k-1``, each
+    page contributing its exact float64 leaf-box bytes plus its object
+    count — the complete per-page input of ``build_prediction_matrix``
+    (marks depend only on leaf boxes and ε; the tree above the leaves
+    changes which *node pairs* are visited, never which page pairs end up
+    marked) and of the sketch cache (counts + payload-derived boxes).
+
+    Appending pages only extends the chain from its last state, so a
+    resident dataset's fingerprint updates in O(pages appended) instead
+    of a full re-hash, while producing — by construction — the exact
+    digest :func:`dataset_fingerprint` computes from scratch over the
+    final page list.  When an append also changes trailing pages (a
+    sequence append can add windows to the old last page), truncate back
+    to the first changed page and re-extend from there; every state is
+    kept, so truncation is O(1).
+    """
+
+    def __init__(self) -> None:
+        self._states: List[bytes] = [hashlib.sha256(_FP_DOMAIN).digest()]
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._states) - 1
+
+    def extend(self, lo: np.ndarray, hi: np.ndarray, count: int) -> None:
+        """Chain one more page: its leaf-box corners and object count."""
+        digest = hashlib.sha256()
+        digest.update(self._states[-1])
+        digest.update(b"P")
+        digest.update(str(int(count)).encode())
+        digest.update(np.ascontiguousarray(np.asarray(lo, dtype=np.float64)).tobytes())
+        digest.update(np.ascontiguousarray(np.asarray(hi, dtype=np.float64)).tobytes())
+        self._states.append(digest.digest())
+
+    def truncate(self, num_pages: int) -> None:
+        """Roll the chain back to its first ``num_pages`` pages."""
+        if not 0 <= num_pages <= self.num_pages:
+            raise ValueError(
+                f"cannot truncate chain of {self.num_pages} pages to {num_pages}"
+            )
+        del self._states[num_pages + 1 :]
+
+    def copy(self) -> "FingerprintChain":
+        dup = FingerprintChain()
+        dup._states = list(self._states)
+        return dup
+
+    def hexdigest(self) -> str:
+        """The fingerprint of the pages chained so far."""
+        digest = hashlib.sha256()
+        digest.update(_FP_DOMAIN + b"-final")
+        digest.update(self._states[-1])
+        digest.update(str(self.num_pages).encode())
+        return digest.hexdigest()
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "FingerprintChain":
+        """Chain every page of an :class:`~repro.core.join.IndexedDataset`."""
+        chain = cls()
+        paged = dataset.paged
+        for page_no, box in enumerate(dataset.index.leaf_boxes):
+            chain.extend(box.lo, box.hi, paged.object_count(page_no))
+        return chain
+
+
 def dataset_fingerprint(dataset) -> str:
     """Hex digest of everything the prediction matrix depends on.
 
-    Hashes the MBR hierarchy (structure, levels, page numbers, exact box
-    coordinates) plus the page count — the complete input of
-    ``build_prediction_matrix`` for one side.  Stable across
+    Hashes the per-page leaf boxes (exact float64 coordinates, in page
+    order) plus per-page object counts and the page count — the complete
+    input of ``build_prediction_matrix`` for one side: the marked set is
+    exactly the ε/2-extended leaf-box intersections, so internal tree
+    structure cannot change it.  Stable across
     :func:`save_dataset`/:func:`load_dataset` round trips (boxes restore
     bit-exactly) and across processes.
+
+    A ``fingerprint_memo`` attribute on the dataset, when set, is
+    returned without hashing — the resident-state serving layer
+    (:mod:`repro.serve`) owns immutable dataset snapshots and maintains
+    their fingerprints incrementally through :class:`FingerprintChain`;
+    callers that mutate datasets must never set the memo.
     """
-    digest = hashlib.sha256()
-    digest.update(b"pm-fingerprint-v1")
-    digest.update(str(dataset.num_pages).encode())
-    _hash_node(digest, dataset.index.root)
-    return digest.hexdigest()
-
-
-def _hash_node(digest, node: IndexNode) -> None:
-    digest.update(b"N")
-    digest.update(str(node.level).encode())
-    digest.update(str(node.page_no if node.page_no is not None else -1).encode())
-    digest.update(np.ascontiguousarray(node.box.lo).tobytes())
-    digest.update(np.ascontiguousarray(node.box.hi).tobytes())
-    for child in node.children:
-        _hash_node(digest, child)
-    digest.update(b"E")
+    memo = getattr(dataset, "fingerprint_memo", None)
+    if memo is not None:
+        return memo
+    return FingerprintChain.from_dataset(dataset).hexdigest()
 
 
 def matrix_cache_key(
@@ -226,7 +317,15 @@ def save_matrix(matrix, directory: "str | Path", key: str) -> Path:
     without a reader ever seeing a half-written ``.npz``.  Keys are
     content-derived, so whichever writer lands last replaces the file
     with identical bytes.
+
+    ``directory`` may also be a *store object* exposing
+    ``save_matrix(matrix, key)`` (duck-typed — e.g.
+    :class:`repro.serve.store.ResidentStore`); the call is delegated so
+    every existing ``matrix_cache=...`` call site works against an
+    in-memory resident store without change.
     """
+    if hasattr(directory, "save_matrix"):
+        return directory.save_matrix(matrix, key)
     from repro.core.prediction import PredictionMatrix  # local: avoid cycle
 
     if not isinstance(matrix, PredictionMatrix):
@@ -235,8 +334,7 @@ def save_matrix(matrix, directory: "str | Path", key: str) -> Path:
     path.mkdir(parents=True, exist_ok=True)
     rows, cols = matrix.to_coo()
     target = path / f"{_MATRIX_PREFIX}{key}.npz"
-    # Suffix must stay ".npz" or np.savez_compressed appends another one.
-    tmp = path / f"{_MATRIX_PREFIX}{key}.{os.getpid()}{_MATRIX_TMP_SUFFIX}"
+    tmp = _tmp_cache_path(path, _MATRIX_PREFIX, key)
     try:
         np.savez_compressed(
             tmp,
@@ -262,14 +360,27 @@ def load_matrix(directory: "str | Path", key: str):
     atomic-rename semantics were in place, or by disk trouble — is
     treated as a miss rather than an error: the caller rebuilds and the
     next :func:`save_matrix` replaces the bad file.
+
+    Reads honour the same tmp+``os.replace`` discipline as writes: the
+    final path either holds a complete archive or nothing.  A reader can
+    still race :func:`invalidate_matrix_cache` under concurrent sessions
+    — the entry existed at the pre-check but is unlinked before the open
+    — so a vanished file is retried briefly (a concurrent writer's
+    ``os.replace`` may land in the gap) before being declared a miss.
+
+    ``directory`` may be a store object exposing ``load_matrix(key)``
+    (see :func:`save_matrix`); the call is then delegated.
     """
+    if hasattr(directory, "load_matrix"):
+        return directory.load_matrix(key)
     from repro.core.prediction import PredictionMatrix  # local: avoid cycle
 
     target = Path(directory) / f"{_MATRIX_PREFIX}{key}.npz"
-    if not target.exists():
+    payload_file = _open_cache_entry(target)
+    if payload_file is None:
         return None
     try:
-        with np.load(target) as payload:
+        with payload_file as payload:
             if int(payload["version"]) != _MATRIX_FORMAT_VERSION:
                 return None
             num_rows, num_cols = (int(v) for v in payload["shape"])
@@ -280,6 +391,39 @@ def load_matrix(directory: "str | Path", key: str):
         return None
 
 
+# How often/long a load retries a file that vanished between the
+# existence pre-check and the open.  The window is an invalidator's
+# unlink racing a writer's os.replace; two short sleeps cover it without
+# penalising genuine misses (those return on the exists() fast path).
+_LOAD_RETRIES = 3
+_LOAD_RETRY_SLEEP_S = 0.002
+
+
+def _open_cache_entry(target: Path):
+    """Open a cache archive, or ``None`` when it is definitively absent.
+
+    The retry-on-missing read side of the atomic-write discipline: a
+    ``FileNotFoundError`` after a positive existence check means a
+    concurrent :func:`invalidate_matrix_cache`/:func:`invalidate_sketch_cache`
+    unlinked the entry under us; a concurrent saver may atomically
+    replace it within moments, so retry briefly before reporting a miss.
+    Corrupt archives are the caller's concern (it parses inside its own
+    try block).
+    """
+    if not target.exists():
+        return None
+    for attempt in range(_LOAD_RETRIES):
+        try:
+            return np.load(target)
+        except FileNotFoundError:
+            if attempt + 1 == _LOAD_RETRIES:
+                return None
+            time.sleep(_LOAD_RETRY_SLEEP_S * (attempt + 1))
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError):
+            return None
+    return None
+
+
 def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) -> int:
     """Drop cached matrices; returns how many entries were removed.
 
@@ -287,7 +431,12 @@ def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) 
     cached matrix in ``directory``.  This is the explicit invalidation
     path — fingerprint keys already make stale *hits* impossible, so
     invalidation exists to reclaim space and to force rebuilds.
+
+    ``directory`` may be a store object exposing
+    ``invalidate_matrix_cache(key)`` (see :func:`save_matrix`).
     """
+    if hasattr(directory, "invalidate_matrix_cache"):
+        return directory.invalidate_matrix_cache(key)
     path = Path(directory)
     if not path.is_dir():
         return 0
@@ -300,6 +449,10 @@ def invalidate_matrix_cache(directory: "str | Path", key: Optional[str] = None) 
         return 1
     removed = 0
     for entry in path.glob(f"{_MATRIX_PREFIX}*.npz"):
+        # In-flight atomic writes also end in ".npz"; unlinking one
+        # would fail the writer's os.replace mid-save.
+        if entry.name.endswith(_MATRIX_TMP_SUFFIX):
+            continue
         entry.unlink(missing_ok=True)
         removed += 1
     return removed
@@ -330,7 +483,12 @@ def save_sketches(sketches, directory: "str | Path", key: str) -> Path:
     Atomic exactly like :func:`save_matrix`: per-process temporary name,
     ``os.replace`` onto the final path, so concurrent writers racing on
     the same (content-derived) key never expose a half-written archive.
+
+    ``directory`` may be a store object exposing
+    ``save_sketches(sketches, key)`` (see :func:`save_matrix`).
     """
+    if hasattr(directory, "save_sketches"):
+        return directory.save_sketches(sketches, key)
     from repro.sketch.signatures import PageSketches  # local: avoid cycle
 
     if not isinstance(sketches, PageSketches):
@@ -338,8 +496,7 @@ def save_sketches(sketches, directory: "str | Path", key: str) -> Path:
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     target = path / f"{_SKETCH_PREFIX}{key}.npz"
-    # Suffix must stay ".npz" or np.savez_compressed appends another one.
-    tmp = path / f"{_SKETCH_PREFIX}{key}.{os.getpid()}{_MATRIX_TMP_SUFFIX}"
+    tmp = _tmp_cache_path(path, _SKETCH_PREFIX, key)
     try:
         np.savez_compressed(
             tmp,
@@ -359,16 +516,22 @@ def load_sketches(directory: "str | Path", key: str):
 
     Corrupt, truncated or version-mismatched entries are misses, not
     errors — the caller rebuilds and the next :func:`save_sketches`
-    replaces the bad file (same recovery contract as
-    :func:`load_matrix`).
+    replaces the bad file (same recovery and retry-on-missing contract
+    as :func:`load_matrix`).
+
+    ``directory`` may be a store object exposing ``load_sketches(key)``
+    (see :func:`save_matrix`).
     """
+    if hasattr(directory, "load_sketches"):
+        return directory.load_sketches(key)
     from repro.sketch.signatures import SKETCH_KINDS, PageSketches  # local: avoid cycle
 
     target = Path(directory) / f"{_SKETCH_PREFIX}{key}.npz"
-    if not target.exists():
+    payload_file = _open_cache_entry(target)
+    if payload_file is None:
         return None
     try:
-        with np.load(target) as payload:
+        with payload_file as payload:
             if int(payload["version"]) != _SKETCH_FORMAT_VERSION:
                 return None
             kind = str(payload["kind"])
@@ -387,8 +550,11 @@ def invalidate_sketch_cache(directory: "str | Path", key: Optional[str] = None) 
     """Drop cached sketches; returns how many entries were removed.
 
     Mirrors :func:`invalidate_matrix_cache`: one entry with ``key``,
-    otherwise every cached sketch in ``directory``.
+    otherwise every cached sketch in ``directory``.  ``directory`` may
+    be a store object exposing ``invalidate_sketch_cache(key)``.
     """
+    if hasattr(directory, "invalidate_sketch_cache"):
+        return directory.invalidate_sketch_cache(key)
     path = Path(directory)
     if not path.is_dir():
         return 0
@@ -401,6 +567,8 @@ def invalidate_sketch_cache(directory: "str | Path", key: Optional[str] = None) 
         return 1
     removed = 0
     for entry in path.glob(f"{_SKETCH_PREFIX}*.npz"):
+        if entry.name.endswith(_MATRIX_TMP_SUFFIX):
+            continue
         entry.unlink(missing_ok=True)
         removed += 1
     return removed

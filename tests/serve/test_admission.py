@@ -1,0 +1,155 @@
+"""Frame leases and admission control: the pin budget is never exceeded."""
+
+import threading
+import time
+
+import pytest
+
+from repro.costmodel import DEFAULT_COST_MODEL
+from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def _pool(capacity=8):
+    return BufferPool(SimulatedDisk(DEFAULT_COST_MODEL), capacity)
+
+
+class TestBufferLease:
+    def test_lease_reduces_available_until_released(self):
+        pool = _pool(8)
+        lease = pool.try_lease(5)
+        assert lease is not None
+        assert pool.available == 3
+        assert pool.leased == 5
+        lease.release()
+        assert pool.available == 8
+
+    def test_exhausted_pool_returns_none(self):
+        pool = _pool(8)
+        first = pool.try_lease(6)
+        assert first is not None
+        assert pool.try_lease(3) is None
+        first.release()
+        assert pool.try_lease(3) is not None
+
+    def test_release_is_idempotent(self):
+        pool = _pool(4)
+        lease = pool.try_lease(4)
+        lease.release()
+        lease.release()
+        assert pool.leased == 0
+
+    def test_context_manager_releases(self):
+        pool = _pool(4)
+        with pool.try_lease(4):
+            assert pool.leased == 4
+        assert pool.leased == 0
+
+    def test_impossible_requests_raise(self):
+        pool = _pool(4)
+        with pytest.raises(ValueError):
+            pool.try_lease(-1)
+        with pytest.raises(ValueError):
+            pool.try_lease(5)
+
+    def test_concurrent_leases_never_exceed_capacity(self):
+        pool = _pool(10)
+        peak = []
+        peak_lock = threading.Lock()
+        stop = time.monotonic() + 0.5
+
+        def worker():
+            while time.monotonic() < stop:
+                lease = pool.try_lease(3)
+                if lease is None:
+                    continue
+                with peak_lock:
+                    peak.append(pool.leased)
+                lease.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert peak
+        assert max(peak) <= 10
+
+
+class TestAdmissionController:
+    def test_admit_and_release(self):
+        controller = AdmissionController(_pool(8), max_queue=2, timeout_s=1.0)
+        with controller.admit(8) as ticket:
+            assert ticket.frames == 8
+            assert controller.pool.leased == 8
+        assert controller.pool.leased == 0
+        assert controller.admitted_total == 1
+
+    def test_full_queue_rejects_immediately(self):
+        controller = AdmissionController(_pool(4), max_queue=0, timeout_s=5.0)
+        ticket = controller.admit(4)
+        started = time.monotonic()
+        with pytest.raises(AdmissionRejected):
+            controller.admit(4)
+        assert time.monotonic() - started < 1.0
+        assert controller.rejected_total == 1
+        ticket.release()
+
+    def test_queued_request_admitted_after_release(self):
+        controller = AdmissionController(_pool(4), max_queue=2, timeout_s=5.0)
+        ticket = controller.admit(4)
+        admitted = threading.Event()
+
+        def waiter():
+            follow_up = controller.admit(4)
+            admitted.set()
+            follow_up.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()
+        ticket.release()
+        thread.join(timeout=2.0)
+        assert admitted.is_set()
+        assert controller.queued_total == 1
+
+    def test_wait_times_out(self):
+        controller = AdmissionController(_pool(4), max_queue=2, timeout_s=0.05)
+        ticket = controller.admit(4)
+        with pytest.raises(AdmissionRejected):
+            controller.admit(4)
+        assert controller.timed_out_total == 1
+        ticket.release()
+
+    def test_stats_report_occupancy(self):
+        controller = AdmissionController(_pool(8), max_queue=1)
+        ticket = controller.admit(6)
+        stats = controller.stats()
+        assert stats["capacity_frames"] == 8
+        assert stats["leased_frames"] == 6
+        ticket.release()
+
+    def test_hammered_controller_respects_budget(self):
+        pool = _pool(12)
+        controller = AdmissionController(pool, max_queue=16, timeout_s=2.0)
+        violations = []
+        stop = time.monotonic() + 0.5
+
+        def worker():
+            while time.monotonic() < stop:
+                try:
+                    ticket = controller.admit(5)
+                except AdmissionRejected:
+                    continue
+                if pool.leased > 12:
+                    violations.append(pool.leased)
+                ticket.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert violations == []

@@ -1,0 +1,187 @@
+"""Concurrent serving correctness: interleavings change nothing.
+
+N threads issue mixed join / append / explain requests against one
+session.  Every response is then replayed serially: a fresh session is
+driven through the same append sequence, and each concurrent join is
+matched — by the dataset fingerprint it was served against — to the
+serial join of the identical resident state.  Pairs must be identical
+and counters must be identical up to the matrix-build provenance
+(warm-vs-cold sweep counters and ``serving.*`` bookkeeping), which is
+exactly the guarantee the session makes: per-request work is a pure
+function of the resident snapshot, never of the interleaving.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.join import IndexedDataset
+from repro.datasets import markov_dna
+from repro.serve import JoinSession
+
+# Counters that describe how the matrix came to exist (built cold vs
+# loaded warm), the session's own bookkeeping, or explain-only
+# reconciliation — everything else must match bit-for-bit between a
+# concurrent request and its serial replay.
+_PROVENANCE_PREFIXES = ("serving.", "sweep.", "filter.", "matrix.", "explain.")
+
+_WINDOW = 48
+_PER_PAGE = 64
+_EPSILONS = (1.0, 2.0)
+
+
+def _comparable(counters):
+    return {
+        k: v
+        for k, v in counters.items()
+        if not k.startswith(_PROVENANCE_PREFIXES)
+    }
+
+
+def _dataset(text):
+    return IndexedDataset.from_string(
+        text, window_length=_WINDOW, windows_per_page=_PER_PAGE
+    )
+
+
+def _session():
+    return JoinSession(shared_buffer_frames=200, request_buffer_pages=20)
+
+
+@pytest.fixture(scope="module")
+def base_text():
+    return markov_dna(2500, seed=1)
+
+
+@pytest.fixture(scope="module")
+def suffixes():
+    return [markov_dna(220, seed=40 + k) for k in range(3)]
+
+
+def test_concurrent_mixed_ops_match_serial_replay(base_text, suffixes):
+    sess = _session()
+    sess.register("g", _dataset(base_text))
+
+    responses = []
+    responses_lock = threading.Lock()
+    errors = []
+
+    def joiner(epsilon, explain):
+        try:
+            for _ in range(3):
+                response = sess.join(
+                    "g", "g", epsilon=epsilon, explain=explain
+                )
+                with responses_lock:
+                    responses.append(response)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def appender():
+        try:
+            for suffix in suffixes:
+                sess.append("g", suffix)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=joiner, args=(_EPSILONS[0], False)),
+        threading.Thread(target=joiner, args=(_EPSILONS[1], False)),
+        threading.Thread(target=joiner, args=(_EPSILONS[0], True)),
+        threading.Thread(target=appender),
+        threading.Thread(target=joiner, args=(_EPSILONS[1], True)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(responses) == 12
+
+    # Serial replay: walk the same append sequence, recording for every
+    # (resident fingerprint, epsilon) the serialized join's outcome.
+    serial = _session()
+    serial.register("g", _dataset(base_text))
+    expected = {}
+
+    def snapshot_state():
+        fp = serial._datasets["g"].fingerprint
+        for epsilon in _EPSILONS:
+            reference = serial.join("g", "g", epsilon=epsilon)
+            expected[(fp, epsilon)] = {
+                "pairs": sorted(map(tuple, reference["pairs"])),
+                "num_pairs": reference["num_pairs"],
+                "counters": _comparable(reference["counters"]),
+            }
+
+    snapshot_state()
+    for suffix in suffixes:
+        serial.append("g", suffix)
+        snapshot_state()
+
+    for response in responses:
+        key = (response["fingerprints"]["r"], response["epsilon"])
+        assert key in expected, "join served against an unknown snapshot"
+        reference = expected[key]
+        assert response["num_pairs"] == reference["num_pairs"]
+        assert sorted(map(tuple, response["pairs"])) == reference["pairs"]
+        assert _comparable(response["counters"]) == reference["counters"]
+        if response["matrix_cache"] == "hit":
+            assert response["matrix_seconds"] == 0.0
+
+
+def test_concurrent_appends_and_joins_never_error(base_text):
+    sess = JoinSession(shared_buffer_frames=60, request_buffer_pages=20)
+    sess.register("g", _dataset(base_text))
+    errors = []
+
+    def worker(op_seed):
+        try:
+            if op_seed % 2:
+                sess.append("g", markov_dna(120, seed=100 + op_seed))
+            else:
+                sess.join("g", "g", epsilon=1.0, include_pairs=False)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    # Final state is exactly the serial application of the four appends.
+    final = sess.join("g", "g", epsilon=1.0, include_pairs=False)
+    counters = sess.counters()
+    assert counters["serving.appends"] == 4
+    assert final["num_pairs"] >= 0
+
+
+def test_pool_occupancy_bounded_during_concurrent_joins(base_text):
+    frames = 20
+    sess = JoinSession(
+        shared_buffer_frames=2 * frames, request_buffer_pages=frames,
+        max_queue=8, admit_timeout_s=10.0,
+    )
+    sess.register("g", _dataset(base_text))
+    peaks = []
+    lock = threading.Lock()
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(3):
+                sess.join("g", "g", epsilon=1.0, include_pairs=False)
+                with lock:
+                    peaks.append(sess.pool.leased)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(5)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert max(peaks) <= 2 * frames
+    assert sess.pool.leased == 0

@@ -1,0 +1,305 @@
+"""JoinSession: warm-path guarantees and incremental-append equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import IndexedDataset
+from repro.core.sweep import build_prediction_matrix
+from repro.datasets import markov_dna
+from repro.errors import ConfigError
+from repro.serve import JoinSession
+from repro.serve.incremental import append_to_dataset, rebuild_dataset
+from repro.storage.persist import FingerprintChain, matrix_cache_key
+
+
+def _strip_serving(counters):
+    return {k: v for k, v in counters.items() if not k.startswith("serving.")}
+
+
+def _text_dataset(length=3000, seed=1, window=48, per_page=64, dataset_id=None):
+    return IndexedDataset.from_string(
+        markov_dna(length, seed=seed),
+        window_length=window,
+        windows_per_page=per_page,
+        dataset_id=dataset_id,
+    )
+
+
+def _session(**overrides):
+    defaults = dict(shared_buffer_frames=96, request_buffer_pages=24)
+    defaults.update(overrides)
+    return JoinSession(**defaults)
+
+
+class TestWarmPath:
+    def test_repeat_join_hits_resident_matrix(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        cold = sess.join("g", "g", epsilon=1.0)
+        warm = sess.join("g", "g", epsilon=1.0)
+        assert cold["matrix_cache"] == "miss"
+        assert warm["matrix_cache"] == "hit"
+        assert warm["num_pairs"] == cold["num_pairs"]
+        assert sorted(map(tuple, warm["pairs"])) == sorted(map(tuple, cold["pairs"]))
+
+    def test_warm_join_charges_zero_sweep_and_matrix_seconds(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        sess.join("g", "g", epsilon=1.0)
+        warm = sess.join("g", "g", epsilon=1.0)
+        assert warm["matrix_seconds"] == 0.0
+        assert warm["counters"]["serving.warm_hit"] == 1
+        assert not any(k.startswith("sweep.") for k in warm["counters"])
+        assert sess.counters()["serving.warm_hits"] == 1
+        assert sess.counters()["serving.cold_misses"] == 1
+
+    def test_warm_path_does_not_rehash_pages(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        entry = sess._datasets["g"]
+        assert entry.dataset.fingerprint_memo == entry.fingerprint
+
+    def test_distinct_epsilons_get_distinct_entries(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        assert sess.join("g", "g", epsilon=1.0)["matrix_cache"] == "miss"
+        assert sess.join("g", "g", epsilon=2.0)["matrix_cache"] == "miss"
+        assert sess.join("g", "g", epsilon=1.0)["matrix_cache"] == "hit"
+        assert sess.join("g", "g", epsilon=2.0)["matrix_cache"] == "hit"
+
+    def test_evict_drops_dataset_and_cache_entries(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        sess.join("g", "g", epsilon=1.0)
+        outcome = sess.evict("g")
+        assert outcome["dropped_matrices"] == 1
+        assert sess.datasets() == []
+        with pytest.raises(KeyError):
+            sess.join("g", "g", epsilon=1.0)
+
+    def test_duplicate_register_rejected(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        with pytest.raises(ValueError):
+            sess.register("g", _text_dataset())
+
+
+class TestIncrementalAppend:
+    """Appends must be bit-identical to cold-rebuilding the final state."""
+
+    def _assert_patched_equals_rebuilt(self, sess, dataset_id, epsilon):
+        entry = sess._datasets[dataset_id]
+        rebuilt = rebuild_dataset(entry.dataset)
+        reference, _ = build_prediction_matrix(
+            rebuilt.index.root,
+            rebuilt.index.root,
+            epsilon,
+            rebuilt.num_pages,
+            rebuilt.num_pages,
+            max_filter_rounds=5,
+        )
+        key = matrix_cache_key(entry.fingerprint, entry.fingerprint, epsilon, 5)
+        patched = sess.store.peek_matrix(key)
+        assert patched is not None
+        assert patched == reference
+
+    def test_text_append_patches_matrix_to_rebuilt_state(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        sess.join("g", "g", epsilon=1.0)
+        outcome = sess.append("g", markov_dna(700, seed=9))
+        assert outcome["matrices_patched"] == 1
+        assert outcome["pages_after"] > outcome["pages_before"]
+        self._assert_patched_equals_rebuilt(sess, "g", 1.0)
+
+    def test_text_append_join_bit_identical_to_cold_rebuild(self):
+        text = markov_dna(3000, seed=1)
+        suffix = markov_dna(700, seed=9)
+        sess = _session()
+        sess.register(
+            "g",
+            IndexedDataset.from_string(
+                text, window_length=48, windows_per_page=64
+            ),
+        )
+        sess.join("g", "g", epsilon=1.0)
+        sess.append("g", suffix)
+        served = sess.join("g", "g", epsilon=1.0)
+        assert served["matrix_cache"] == "hit"
+
+        ref_sess = _session()
+        ref_sess.register(
+            "ref",
+            IndexedDataset.from_string(
+                text + suffix, window_length=48, windows_per_page=64
+            ),
+        )
+        ref_sess.join("ref", "ref", epsilon=1.0)
+        reference = ref_sess.join("ref", "ref", epsilon=1.0)
+        assert reference["matrix_cache"] == "hit"
+        assert sorted(map(tuple, served["pairs"])) == sorted(
+            map(tuple, reference["pairs"])
+        )
+        assert _strip_serving(served["counters"]) == _strip_serving(
+            reference["counters"]
+        )
+
+    def test_vector_append_patches_matrix_to_rebuilt_state(self):
+        rng = np.random.default_rng(3)
+        sess = _session()
+        dataset = IndexedDataset.from_points(rng.random((400, 3)), page_capacity=32)
+        sess.register("v", dataset, page_capacity=32)
+        sess.join("v", "v", epsilon=0.2)
+        outcome = sess.append("v", rng.random((90, 3)))
+        assert outcome["matrices_patched"] == 1
+        assert outcome["dirty_pages"] == []
+        self._assert_patched_equals_rebuilt(sess, "v", 0.2)
+
+    def test_series_append_patches_matrix_to_rebuilt_state(self):
+        rng = np.random.default_rng(4)
+        sess = _session()
+        values = rng.normal(size=600).cumsum()
+        dataset = IndexedDataset.from_time_series(
+            values, window_length=16, windows_per_page=32
+        )
+        sess.register("t", dataset)
+        sess.join("t", "t", epsilon=0.5)
+        sess.append("t", rng.normal(size=140).cumsum())
+        self._assert_patched_equals_rebuilt(sess, "t", 0.5)
+
+    def test_dtw_series_append_keeps_band_envelope(self):
+        rng = np.random.default_rng(5)
+        sess = _session()
+        values = rng.normal(size=400).cumsum()
+        dataset = IndexedDataset.from_time_series(
+            values, window_length=16, windows_per_page=32, dtw_band=2
+        )
+        sess.register("t", dataset)
+        sess.join("t", "t", epsilon=0.5)
+        sess.append("t", rng.normal(size=120).cumsum())
+        self._assert_patched_equals_rebuilt(sess, "t", 0.5)
+
+    def test_paa_series_append_rejected(self):
+        rng = np.random.default_rng(6)
+        sess = _session()
+        dataset = IndexedDataset.from_time_series(
+            rng.normal(size=300).cumsum(),
+            window_length=16,
+            windows_per_page=32,
+            feature="paa",
+        )
+        sess.register("t", dataset)
+        with pytest.raises(ConfigError):
+            sess.append("t", rng.normal(size=50).cumsum())
+
+    def test_cross_join_matrix_patched_on_one_side(self):
+        sess = _session()
+        sess.register("a", _text_dataset(seed=1))
+        sess.register("b", _text_dataset(seed=2))
+        sess.join("a", "b", epsilon=1.0)
+        outcome = sess.append("a", markov_dna(500, seed=7))
+        assert outcome["matrices_patched"] == 1
+        entry_a = sess._datasets["a"]
+        entry_b = sess._datasets["b"]
+        rebuilt = rebuild_dataset(entry_a.dataset)
+        reference, _ = build_prediction_matrix(
+            rebuilt.index.root,
+            entry_b.dataset.index.root,
+            1.0,
+            rebuilt.num_pages,
+            entry_b.dataset.num_pages,
+            max_filter_rounds=5,
+        )
+        key = matrix_cache_key(entry_a.fingerprint, entry_b.fingerprint, 1.0, 5)
+        assert sess.store.peek_matrix(key) == reference
+
+    def test_append_then_fresh_epsilon_builds_from_final_state(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        sess.append("g", markov_dna(400, seed=8))
+        result = sess.join("g", "g", epsilon=1.0)
+        assert result["matrix_cache"] == "miss"
+        self._assert_patched_equals_rebuilt(sess, "g", 1.0)
+
+
+class TestFingerprintChaining:
+    """Satellite: incremental fingerprint == from-scratch fingerprint."""
+
+    def test_text_append_chain_matches_scratch(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        sess.append("g", markov_dna(700, seed=9))
+        entry = sess._datasets["g"]
+        scratch = FingerprintChain.from_dataset(entry.dataset).hexdigest()
+        assert entry.fingerprint == scratch
+
+    def test_vector_append_chain_matches_scratch(self):
+        rng = np.random.default_rng(11)
+        sess = _session()
+        sess.register(
+            "v",
+            IndexedDataset.from_points(rng.random((300, 2)), page_capacity=32),
+            page_capacity=32,
+        )
+        sess.append("v", rng.random((70, 2)))
+        entry = sess._datasets["v"]
+        assert (
+            entry.fingerprint
+            == FingerprintChain.from_dataset(entry.dataset).hexdigest()
+        )
+
+    def test_repeated_appends_stay_chained(self):
+        sess = _session()
+        sess.register("g", _text_dataset())
+        for seed in (21, 22, 23):
+            sess.append("g", markov_dna(150, seed=seed))
+        entry = sess._datasets["g"]
+        assert (
+            entry.fingerprint
+            == FingerprintChain.from_dataset(entry.dataset).hexdigest()
+        )
+
+    def test_append_fingerprint_matches_cold_registration(self):
+        text = markov_dna(2000, seed=1)
+        suffix = markov_dna(300, seed=2)
+        sess = _session()
+        sess.register(
+            "g",
+            IndexedDataset.from_string(text, window_length=48, windows_per_page=64),
+        )
+        sess.append("g", suffix)
+        cold = _session()
+        described = cold.register(
+            "g2",
+            IndexedDataset.from_string(
+                text + suffix, window_length=48, windows_per_page=64
+            ),
+        )
+        assert sess._datasets["g"].fingerprint == described["fingerprint"]
+
+
+class TestAppendDeltas:
+    def test_dirty_pages_limited_to_old_last_page(self):
+        dataset = _text_dataset(length=2000, window=48, per_page=64)
+        chain = FingerprintChain.from_dataset(dataset)
+        delta = append_to_dataset(dataset, chain, markov_dna(300, seed=5))
+        assert all(p == dataset.num_pages - 1 for p in delta.dirty_pages)
+        assert delta.pages_after == delta.dataset.num_pages
+
+    def test_old_snapshot_untouched_by_append(self):
+        dataset = _text_dataset(length=2000)
+        chain = FingerprintChain.from_dataset(dataset)
+        before_pages = dataset.num_pages
+        before_fp = chain.hexdigest()
+        append_to_dataset(dataset, chain, markov_dna(300, seed=5))
+        assert dataset.num_pages == before_pages
+        assert chain.hexdigest() == before_fp
+
+    def test_subsequence_join_rejects_vectors(self):
+        rng = np.random.default_rng(2)
+        sess = _session()
+        sess.register(
+            "v", IndexedDataset.from_points(rng.random((100, 2)), page_capacity=16)
+        )
+        with pytest.raises(ValueError):
+            sess.subsequence_join("v", "v", epsilon=0.1)

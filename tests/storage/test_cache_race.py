@@ -1,0 +1,178 @@
+"""Matrix-cache load/invalidate races (satellite of the serving PR).
+
+``invalidate_matrix_cache`` unlinks entries while other threads (or
+sessions sharing one cache directory) are mid-``load_matrix``.  The
+atomic tmp+``os.replace`` write discipline guarantees the final path
+holds either a complete archive or nothing, and the read side retries a
+file that vanishes between the existence pre-check and the open.  Under
+that contract every concurrent load must return ``None`` or a complete,
+equal matrix — never raise, never yield a torn archive.
+"""
+
+import threading
+from pathlib import Path
+from unittest import mock
+
+import numpy as np
+
+from repro.core.prediction import PredictionMatrix
+from repro.storage import persist
+from repro.storage.persist import (
+    invalidate_matrix_cache,
+    load_matrix,
+    save_matrix,
+)
+
+
+def _matrix(num_pages=24, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = PredictionMatrix(num_pages, num_pages)
+    rows = rng.integers(0, num_pages, size=140)
+    cols = rng.integers(0, num_pages, size=140)
+    matrix.mark_many(rows, cols)
+    return matrix
+
+
+class TestRetryOnMissing:
+    def test_missing_entry_is_fast_miss_without_retries(self, tmp_path):
+        sleeps = []
+        with mock.patch.object(persist.time, "sleep", sleeps.append):
+            assert load_matrix(tmp_path, "absent") is None
+        assert sleeps == []
+
+    def test_vanished_entry_retries_then_misses(self, tmp_path):
+        save_matrix(_matrix(), tmp_path, "k")
+        target = next(Path(tmp_path).glob("*.npz"))
+        attempts = []
+        real_load = np.load
+
+        def vanishing_load(path, *args, **kwargs):
+            attempts.append(path)
+            raise FileNotFoundError(path)
+
+        with mock.patch.object(persist.np, "load", vanishing_load), \
+                mock.patch.object(persist.time, "sleep", lambda _s: None):
+            assert persist._open_cache_entry(target) is None
+        assert len(attempts) == persist._LOAD_RETRIES
+        assert real_load is np.load  # patch confined to the persist module
+
+    def test_entry_replaced_mid_retry_is_served(self, tmp_path):
+        matrix = _matrix()
+        save_matrix(matrix, tmp_path, "k")
+        target = next(Path(tmp_path).glob("*.npz"))
+        real_load = persist.np.load
+        calls = {"n": 0}
+
+        def flaky_load(path, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # Simulate the invalidator's unlink landing between the
+                # existence pre-check and the open; the concurrent
+                # writer's os.replace restores it before the retry.
+                raise FileNotFoundError(path)
+            return real_load(path, *args, **kwargs)
+
+        with mock.patch.object(persist.np, "load", flaky_load):
+            loaded = load_matrix(tmp_path, "k")
+        assert loaded == matrix
+        assert calls["n"] == 2
+
+
+class TestConcurrentStress:
+    def test_readers_vs_invalidators_and_writers(self, tmp_path):
+        matrix = _matrix()
+        key = "stress"
+        save_matrix(matrix, tmp_path, key)
+        errors = []
+        outcomes = {"hits": 0, "misses": 0}
+        outcome_lock = threading.Lock()
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    loaded = load_matrix(tmp_path, key)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+                    return
+                if loaded is None:
+                    with outcome_lock:
+                        outcomes["misses"] += 1
+                else:
+                    if loaded != matrix:
+                        errors.append(AssertionError("torn matrix served"))
+                        return
+                    with outcome_lock:
+                        outcomes["hits"] += 1
+
+        def invalidator():
+            while not stop.is_set():
+                try:
+                    invalidate_matrix_cache(tmp_path, key)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+                    return
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    save_matrix(matrix, tmp_path, key)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+                    return
+
+        threads = (
+            [threading.Thread(target=reader) for _ in range(4)]
+            + [threading.Thread(target=invalidator) for _ in range(2)]
+            + [threading.Thread(target=writer) for _ in range(2)]
+        )
+        for t in threads:
+            t.start()
+        timer = threading.Timer(1.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert errors == []
+        # The writers keep re-materialising the entry, so readers must
+        # observe real hits; invalidators guarantee some misses too.
+        assert outcomes["hits"] > 0
+        assert outcomes["hits"] + outcomes["misses"] > 0
+
+    def test_invalidate_all_races_with_writers(self, tmp_path):
+        matrices = {f"k{i}": _matrix(seed=i) for i in range(4)}
+        errors = []
+        stop = threading.Event()
+
+        def writer(key, matrix):
+            while not stop.is_set():
+                try:
+                    save_matrix(matrix, tmp_path, key)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+                    return
+
+        def sweeper():
+            while not stop.is_set():
+                try:
+                    invalidate_matrix_cache(tmp_path)
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=item)
+            for item in matrices.items()
+        ] + [threading.Thread(target=sweeper) for _ in range(2)]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert errors == []
+        # Post-race loads are clean: every key is either a miss or equal.
+        for key, matrix in matrices.items():
+            loaded = load_matrix(tmp_path, key)
+            assert loaded is None or loaded == matrix

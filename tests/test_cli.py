@@ -165,3 +165,25 @@ class TestKernelBackendFlag:
         assert "fortran" in err
         assert "registered backends" in err
         assert "wavefront" in err
+
+
+class TestVersion:
+    def test_version_flag_matches_package(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_version_resolves_from_pyproject(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(repro.__file__).resolve().parent.parent.parent / "pyproject.toml"
+        declared = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        ).group(1)
+        assert repro.__version__ == declared
